@@ -1,0 +1,23 @@
+//! Run every experiment E1–E15 in order (see DESIGN.md §4).
+fn main() {
+    let scale = bench::Scale::from_env(bench::Scale::Paper);
+    use bench::experiments::*;
+    sampling::exp_lemma1(scale);
+    sampling::exp_lemma3(scale);
+    sampling::exp_coreset(scale);
+    reductions::exp_theorem1(scale);
+    reductions::exp_theorem2(scale);
+    baseline::exp_baseline(scale);
+    problems::exp_interval(scale);
+    problems::exp_enclosure(scale);
+    problems::exp_dominance(scale);
+    problems::exp_halfspace2d(scale);
+    problems::exp_halfspace_hd(scale);
+    problems::exp_circular(scale);
+    updates::exp_updates(scale);
+    ablation::exp_ablation_inner(scale);
+    ablation::exp_ablation_cascade(scale);
+    ablation::exp_range2d(scale);
+    ablation::exp_dominance_substrates(scale);
+    space::exp_space(scale);
+}

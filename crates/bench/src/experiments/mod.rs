@@ -1,0 +1,54 @@
+//! The experiments E1–E15 (see DESIGN.md §4 for the index).
+
+pub mod ablation;
+pub mod baseline;
+pub mod problems;
+pub mod reductions;
+pub mod sampling;
+pub mod space;
+pub mod updates;
+
+use emsim::CostModel;
+
+/// Average read-I/Os per call of `run` over `queries` inputs.
+pub fn avg_ios<Q>(model: &CostModel, queries: &[Q], mut run: impl FnMut(&Q)) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    model.reset();
+    for q in queries {
+        run(q);
+    }
+    model.report().reads as f64 / queries.len() as f64
+}
+
+/// Geometric sequence of problem sizes `start, start·2, …, ≤ end`.
+pub fn sizes(start: usize, end: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = start;
+    while n <= end {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_doubles() {
+        assert_eq!(sizes(1_000, 8_000), vec![1_000, 2_000, 4_000, 8_000]);
+        assert_eq!(sizes(10, 9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn avg_ios_averages() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let queries = vec![1u32, 2, 3, 4];
+        let avg = avg_ios(&model, &queries, |_| model.charge_reads(10));
+        assert_eq!(avg, 10.0);
+        assert_eq!(avg_ios(&model, &Vec::<u32>::new(), |_| {}), 0.0);
+    }
+}

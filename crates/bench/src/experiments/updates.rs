@@ -1,0 +1,78 @@
+//! E13: Theorem 2's dynamic claim — updates cost `O(U_pri + U_max)`
+//! expected, with `O(1)` expected copies of each element across the sample
+//! structures.
+
+use emsim::{CostModel, EmConfig};
+use interval::DynTopKStabbing;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_core::TopKIndex;
+use workloads::intervals;
+
+use crate::experiments::sizes;
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// **E13.** Amortized I/O per insert/delete at several `n`, plus a
+/// correctness spot-check against brute force after the churn.
+pub fn exp_updates(scale: Scale) -> Table {
+    let b = 64usize;
+    let mut t = Table::new(
+        "E13 / Theorem 2 updates — dynamic top-k interval stabbing",
+        &["n", "ops", "IO/insert", "IO/delete", "IO/query(k=10)"],
+    );
+    for &n in &sizes(scale.n(4_096), scale.n(16_384)) {
+        let items = intervals::uniform(n, 1_000.0, 120.0, 0xED);
+        let model = CostModel::new(EmConfig::new(b));
+        let mut idx = DynTopKStabbing::build(&model, items.clone(), 0xED);
+        let mut live = items;
+        let mut rng = StdRng::seed_from_u64(0xED + 1);
+        let ops = (n / 4).max(64);
+
+        // Inserts.
+        model.reset();
+        let mut next_w = 10_000_000u64;
+        for _ in 0..ops {
+            let a: f64 = rng.gen_range(0.0..1_000.0);
+            let iv = interval::Interval::new(a, a + rng.gen_range(0.0..120.0), next_w);
+            next_w += 1;
+            idx.insert(iv);
+            live.push(iv);
+        }
+        let io_ins = model.report().total() as f64 / ops as f64;
+
+        // Deletes.
+        model.reset();
+        for _ in 0..ops {
+            let i = rng.gen_range(0..live.len());
+            let iv = live.swap_remove(i);
+            assert!(idx.delete(iv.weight));
+        }
+        let io_del = model.report().total() as f64 / ops as f64;
+
+        // Queries after churn (also validates exactness).
+        let queries = intervals::stab_queries(10, 1_000.0, 0xED + 2);
+        model.reset();
+        for &q in &queries {
+            let mut out = Vec::new();
+            idx.query_topk(&q, 10, &mut out);
+            let want = topk_core::brute::top_k(&live, |iv| iv.stabs(q), 10);
+            assert_eq!(
+                out.iter().map(|iv| iv.weight).collect::<Vec<_>>(),
+                want.iter().map(|iv| iv.weight).collect::<Vec<_>>(),
+                "post-churn mismatch at q={q}"
+            );
+        }
+        let io_q = model.report().reads as f64 / queries.len() as f64;
+
+        t.row_strings(vec![
+            n.to_string(),
+            ops.to_string(),
+            f(io_ins),
+            f(io_del),
+            f(io_q),
+        ]);
+    }
+    t.print();
+    t
+}

@@ -1,0 +1,257 @@
+//! Baselines the paper compares against.
+//!
+//! * [`BinarySearchTopK`] — the prior state-of-the-art general reduction of
+//!   Rahul & Janardan \[28\] as characterized by eqs. (1)–(2) of §1.2:
+//!   binary search on the weight threshold `τ`, answering each probe with a
+//!   cost-monitored prioritized query. Query cost
+//!   `O((Q_pri(n) + k/B)·log₂ n)` — note the *multiplicative* `log₂ n` on
+//!   `k/B` that Theorem 1 eliminates (experiment E6).
+//! * [`ScanTopK`] — the trivial structure: keep `D` in `O(n/B)` blocks,
+//!   answer every query by a full scan plus k-selection in `O(n/B)`.
+//!   (Requires predicate evaluation, so it is generic over a matcher
+//!   closure — unlike the reductions, which are black-box.)
+
+use emsim::{select, BlockArray, CostModel};
+
+use crate::traits::{Element, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKIndex, Weight};
+
+/// The binary-search reduction of \[28\] (eqs. (1)–(2)).
+pub struct BinarySearchTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    model: CostModel,
+    pri: PB::Index,
+    /// All weights, ascending, in blocks — the binary-search domain.
+    weights: BlockArray<Weight>,
+    _q: std::marker::PhantomData<Q>,
+}
+
+impl<E, Q, PB> BinarySearchTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    /// Build on `items` (distinct weights required).
+    pub fn build(model: &CostModel, builder: &PB, items: Vec<E>) -> Self {
+        let mut ws: Vec<Weight> = items.iter().map(Element::weight).collect();
+        emsim::sort::external_sort_by(model, &mut ws, |&w| w);
+        for w in ws.windows(2) {
+            assert!(w[0] != w[1], "weights must be distinct");
+        }
+        let weights = BlockArray::new(model, ws);
+        let pri = builder.build(model, items);
+        BinarySearchTopK {
+            model: model.clone(),
+            pri,
+            weights,
+            _q: std::marker::PhantomData,
+        }
+    }
+
+    /// Count `|{e ∈ q(D) : w(e) ≥ τ}|`, capped at `k+1`, via a monitored
+    /// prioritized query (cost `Q_pri + O(k/B)`).
+    fn count_at_least(&self, q: &Q, tau: Weight, k: usize) -> (usize, Monitored) {
+        let mut out = Vec::new();
+        let m = self.pri.query_monitored(q, tau, k, &mut out);
+        (out.len(), m)
+    }
+}
+
+impl<E, Q, PB> TopKIndex<E, Q> for BinarySearchTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    fn query_topk(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        if k == 0 || self.weights.is_empty() {
+            return;
+        }
+        let n = self.weights.len();
+        // Binary search over the sorted weight array for the largest τ with
+        // |{w ≥ τ} ∩ q(D)| ≥ k. Invariant: count(weights[hi..]) < k ≤
+        // count(weights[lo..]) — treating count(weights[0..]) as the k-cap.
+        let mut lo = 0usize; // count(w ≥ weights[lo]) ≥ k, "low weight" side
+        let mut hi = n; // exclusive; count above weights[hi] < k
+        // Quick check: fewer than k matches in total?
+        let w_lo = *self.weights.get(0);
+        let (cnt, _) = self.count_at_least(q, w_lo, k);
+        if cnt < k {
+            // Entire q(D) has < k elements; report all of it.
+            self.pri.query(q, 0, out);
+            let sel = select::top_k_by_weight(&self.model, out, k, Element::weight);
+            out.clear();
+            out.extend(sel);
+            return;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let w_mid = *self.weights.get(mid);
+            let (cnt, _) = self.count_at_least(q, w_mid, k);
+            if cnt >= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // τ* = weights[lo]: at least k matches at or above it, fewer than k
+        // strictly above the next weight. Fetch and k-select.
+        let tau = *self.weights.get(lo);
+        let mut s = Vec::new();
+        self.pri.query(q, tau, &mut s);
+        out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+    }
+
+    fn space_blocks(&self) -> u64 {
+        self.pri.space_blocks() + self.weights.blocks()
+    }
+}
+
+/// The trivial scan baseline.
+pub struct ScanTopK<E, Q, F>
+where
+    E: Element,
+    F: Fn(&Q, &E) -> bool,
+{
+    model: CostModel,
+    data: BlockArray<E>,
+    matches: F,
+    _q: std::marker::PhantomData<Q>,
+}
+
+impl<E, Q, F> ScanTopK<E, Q, F>
+where
+    E: Element,
+    F: Fn(&Q, &E) -> bool,
+{
+    /// Store `items` in blocks; `matches` evaluates the predicate.
+    pub fn build(model: &CostModel, items: Vec<E>, matches: F) -> Self {
+        ScanTopK {
+            model: model.clone(),
+            data: BlockArray::new(model, items),
+            matches,
+            _q: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E, Q, F> TopKIndex<E, Q> for ScanTopK<E, Q, F>
+where
+    E: Element,
+    F: Fn(&Q, &E) -> bool,
+{
+    fn query_topk(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        if k == 0 {
+            return;
+        }
+        let mut candidates = Vec::new();
+        self.data.scan(|e| {
+            if (self.matches)(q, e) {
+                candidates.push(e.clone());
+            }
+        });
+        out.extend(select::top_k_by_weight(
+            &self.model,
+            &candidates,
+            k,
+            Element::weight,
+        ));
+    }
+
+    fn space_blocks(&self) -> u64 {
+        self.data.blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::toy::{PrefixBuilder, PrefixQuery, ToyElem};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mk_items(n: usize, seed: u64) -> Vec<ToyElem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights: Vec<u64> = (1..=n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        (0..n)
+            .map(|i| ToyElem {
+                x: i as u64,
+                w: weights[i],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_search_matches_brute() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let items = mk_items(3_000, 21);
+        let bs = BinarySearchTopK::build(&model, &PrefixBuilder, items.clone());
+        for qx in [0u64, 10, 1_500, 2_999] {
+            for k in [1usize, 3, 64, 500, 2_999, 4_000] {
+                let mut got = Vec::new();
+                bs.query_topk(&PrefixQuery { x_max: qx }, k, &mut got);
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                assert_eq!(
+                    got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    "q={qx} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_brute() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let items = mk_items(1_000, 22);
+        let sc = ScanTopK::build(&model, items.clone(), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        for qx in [0u64, 500, 999] {
+            for k in [1usize, 10, 999, 1_001] {
+                let mut got = Vec::new();
+                sc.query_topk(&PrefixQuery { x_max: qx }, k, &mut got);
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                assert_eq!(got.len(), want.len(), "q={qx} k={k}");
+                assert_eq!(
+                    got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_cost_is_n_over_b() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let n = 64_000;
+        let items = mk_items(n, 23);
+        let sc = ScanTopK::build(&model, items, |_: &PrefixQuery, _: &ToyElem| true);
+        model.reset();
+        let mut got = Vec::new();
+        sc.query_topk(&PrefixQuery { x_max: 0 }, 1, &mut got);
+        let reads = model.report().reads;
+        // 2 words per elem → 32 per block → 2000 blocks; selection adds ~2x.
+        assert!((2_000..=9_000).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let model = CostModel::ram();
+        let bs: BinarySearchTopK<ToyElem, PrefixQuery, PrefixBuilder> =
+            BinarySearchTopK::build(&model, &PrefixBuilder, Vec::new());
+        let mut out = Vec::new();
+        bs.query_topk(&PrefixQuery { x_max: 5 }, 3, &mut out);
+        assert!(out.is_empty());
+        let items = mk_items(5, 2);
+        let bs = BinarySearchTopK::build(&model, &PrefixBuilder, items);
+        bs.query_topk(&PrefixQuery { x_max: 5 }, 0, &mut out);
+        assert!(out.is_empty());
+    }
+}

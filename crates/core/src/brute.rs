@@ -1,0 +1,67 @@
+//! Brute-force reference implementations used as ground truth in tests and
+//! experiments. Pure RAM; charges nothing.
+
+use crate::traits::Element;
+
+/// The `k` heaviest elements satisfying `pred`, heaviest first.
+pub fn top_k<E: Element>(items: &[E], pred: impl Fn(&E) -> bool, k: usize) -> Vec<E> {
+    let mut v: Vec<E> = items.iter().filter(|e| pred(e)).cloned().collect();
+    v.sort_by(|a, b| b.weight().cmp(&a.weight()));
+    v.truncate(k);
+    v
+}
+
+/// All elements satisfying `pred` with weight `≥ tau`, heaviest first.
+pub fn prioritized<E: Element>(items: &[E], pred: impl Fn(&E) -> bool, tau: u64) -> Vec<E> {
+    let mut v: Vec<E> = items
+        .iter()
+        .filter(|e| pred(e) && e.weight() >= tau)
+        .cloned()
+        .collect();
+    v.sort_by(|a, b| b.weight().cmp(&a.weight()));
+    v
+}
+
+/// The heaviest element satisfying `pred`, if any.
+pub fn max<E: Element>(items: &[E], pred: impl Fn(&E) -> bool) -> Option<E> {
+    items
+        .iter()
+        .filter(|e| pred(e))
+        .max_by_key(|e| e.weight())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Weight;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct W(u64);
+    impl Element for W {
+        fn weight(&self) -> Weight {
+            self.0
+        }
+    }
+
+    #[test]
+    fn top_k_filters_sorts_truncates() {
+        let items: Vec<W> = [4u64, 8, 1, 9, 6, 3].iter().map(|&w| W(w)).collect();
+        let got = top_k(&items, |e| e.0 % 2 == 0, 2);
+        assert_eq!(got, vec![W(8), W(6)]);
+    }
+
+    #[test]
+    fn prioritized_applies_both_filters() {
+        let items: Vec<W> = [4u64, 8, 1, 9, 6, 3].iter().map(|&w| W(w)).collect();
+        let got = prioritized(&items, |e| e.0 % 2 == 0, 6);
+        assert_eq!(got, vec![W(8), W(6)]);
+    }
+
+    #[test]
+    fn max_is_none_on_empty_match() {
+        let items: Vec<W> = [1u64, 3].iter().map(|&w| W(w)).collect();
+        assert_eq!(max(&items, |_| false), None);
+        assert_eq!(max(&items, |e| e.0 > 1), Some(W(3)));
+    }
+}

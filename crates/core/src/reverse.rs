@@ -1,0 +1,152 @@
+//! The converse reduction of §1.2: prioritized reporting from top-k
+//! reporting, with no asymptotic loss (`S_pri = O(S_top)`,
+//! `Q_pri = O(Q_top)`), due to \[26, 28, 29\].
+//!
+//! The idea is geometric doubling of `k`: query top-k for
+//! `k = κ, 2κ, 4κ, …` (with `κ = B` so each doubling costs at least one
+//! block of output anyway) until the lightest reported element falls below
+//! `τ` or the result stops growing; then filter. The total cost telescopes
+//! to `O(Q_top(n) + t/B)` when `Q_top` absorbs multiplicative constants on
+//! the doubling — the standard argument.
+//!
+//! This closes the circle: together with Theorem 2, prioritized + max
+//! reporting and top-k reporting are equivalent in expectation.
+
+use emsim::CostModel;
+
+use crate::traits::{Element, PrioritizedIndex, TopKIndex, Weight};
+
+/// A prioritized-reporting adapter over any [`TopKIndex`].
+pub struct PrioritizedFromTopK<T> {
+    inner: T,
+    n: usize,
+    start_k: usize,
+}
+
+impl<T> PrioritizedFromTopK<T> {
+    /// Wrap a top-k structure over `n` elements; `model` supplies `B` for
+    /// the initial doubling step.
+    pub fn new(model: &CostModel, inner: T, n: usize) -> Self {
+        PrioritizedFromTopK {
+            inner,
+            n,
+            start_k: model.b().max(1),
+        }
+    }
+
+    /// The wrapped structure.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<E, Q, T> PrioritizedIndex<E, Q> for PrioritizedFromTopK<T>
+where
+    E: Element,
+    T: TopKIndex<E, Q>,
+{
+    fn for_each_at_least(&self, q: &Q, tau: Weight, visit: &mut dyn FnMut(&E) -> bool) {
+        let mut k = self.start_k;
+        loop {
+            let mut out = Vec::new();
+            self.inner.query_topk(q, k, &mut out);
+            let exhausted_qd = out.len() < k;
+            let crossed_tau = out.last().map(|e| e.weight() < tau).unwrap_or(false);
+            if exhausted_qd || crossed_tau || k >= self.n.max(1) {
+                for e in &out {
+                    if e.weight() >= tau {
+                        if !visit(e) {
+                            return;
+                        }
+                    } else {
+                        // Results are heaviest-first; below τ we are done.
+                        return;
+                    }
+                }
+                return;
+            }
+            k *= 2;
+        }
+    }
+
+    fn space_blocks(&self) -> u64 {
+        self.inner.space_blocks()
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ScanTopK;
+    use crate::brute;
+    use crate::toy::{PrefixQuery, ToyElem};
+    use emsim::EmConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mk_items(n: usize, seed: u64) -> Vec<ToyElem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights: Vec<u64> = (1..=n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        (0..n)
+            .map(|i| ToyElem {
+                x: i as u64,
+                w: weights[i],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reverse_reduction_matches_brute() {
+        let model = CostModel::new(EmConfig::new(16));
+        let items = mk_items(2_000, 31);
+        let topk = ScanTopK::build(&model, items.clone(), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        let pri = PrioritizedFromTopK::new(&model, topk, items.len());
+        for qx in [0u64, 77, 1_000, 1_999] {
+            for tau in [0u64, 1, 500, 1_500, 2_000, 5_000] {
+                let mut got = Vec::new();
+                pri.query(&PrefixQuery { x_max: qx }, tau, &mut got);
+                let want = brute::prioritized(&items, |e| e.x <= qx, tau);
+                let mut got_w: Vec<u64> = got.iter().map(|e| e.w).collect();
+                got_w.sort_unstable();
+                let mut want_w: Vec<u64> = want.iter().map(|e| e.w).collect();
+                want_w.sort_unstable();
+                assert_eq!(got_w, want_w, "q={qx} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitored_truncation_through_adapter() {
+        let model = CostModel::new(EmConfig::new(16));
+        let items = mk_items(500, 32);
+        let topk = ScanTopK::build(&model, items.clone(), |_: &PrefixQuery, _| true);
+        let pri = PrioritizedFromTopK::new(&model, topk, items.len());
+        let mut out = Vec::new();
+        let m = pri.query_monitored(&PrefixQuery { x_max: 0 }, 0, 4, &mut out);
+        assert_eq!(m, crate::traits::Monitored::Truncated);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn empty_answer() {
+        let model = CostModel::ram();
+        let items = mk_items(100, 33);
+        let topk = ScanTopK::build(&model, items.clone(), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        let pri = PrioritizedFromTopK::new(&model, topk, items.len());
+        let mut out: Vec<ToyElem> = Vec::new();
+        pri.query(&PrefixQuery { x_max: 0 }, 1_000, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! **Theorem 1** — the worst-case reduction from top-k to prioritized
+//! reporting (§3 of the paper).
+//!
+//! Given a prioritized structure with geometrically-converging space
+//! `S_pri(n)` and query cost `Q_pri(n) + O(t/B)` with `Q_pri(n) ≥ log_B n`,
+//! on a `λ`-polynomially-bounded problem, [`WorstCaseTopK`] is a top-k
+//! structure with
+//!
+//! * space `S_top(n) = O(S_pri(n))`, and
+//! * query cost `O(Q_pri(n) · log n / (log B + log(Q_pri(n)/log_B n)))
+//!   + O(k/B)` — i.e. at most an `O(log_B n)` slowdown.
+//!
+//! ## Construction (§3.2)
+//!
+//! Let `f = 12λB·Q_pri(n)` (eq. (9)).
+//!
+//! * **Queries with `k ≤ f`** are served by a *hierarchy* of nested
+//!   core-sets `D = R₀ ⊇ R₁ ⊇ …  ⊇ R_h` (each a Lemma 2 core-set of its
+//!   predecessor with `K = f`, stopping when `|R_h| ≤ 4f`), with a
+//!   prioritized structure on each level. A top-f query descends: if the
+//!   monitored query says `|q(Rᵢ)| ≤ 4f`, k-selection finishes; otherwise
+//!   the recursion on `Rᵢ₊₁` yields a pivot element `e` whose weight-rank in
+//!   `q(Rᵢ)` is (w.h.p.) in `[f, 4f]`, and one prioritized query with
+//!   `τ = w(e)` fetches a superset of the top-f.
+//! * **Queries with `k > f`** use a *doubling ladder* of core-sets `R[i]`
+//!   of `D` with `K = 2^{i-1}·f`, each carrying its own top-f hierarchy.
+//!   The ladder supplies a pivot at rank `≈ Θ(k)` of `q(D)`; one prioritized
+//!   query on `D` plus k-selection finishes.
+//!
+//! ## Correctness under sampling failures
+//!
+//! The pivot ranks are guaranteed only with high probability. Every fast
+//! path below *verifies* what it fetched (via the monitored-query outcomes
+//! and result sizes) and falls back to an exact full prioritized query when
+//! verification fails, so the structure is always exact; the sampling
+//! affects only the (expected, rare) cost of the fallback.
+
+use emsim::{select, BlockArray, CostModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::coreset::{core_set, CoreSetParams};
+use crate::traits::{Element, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKIndex};
+
+/// Tunables of the Theorem 1 construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem1Params {
+    /// The problem's polynomial-boundedness constant `λ`.
+    pub lambda: f64,
+    /// The constant in `f = c·λ·B·Q_pri(n)`; the paper uses `c = 12`
+    /// (eq. (9)). Exposed for the ablation experiment `exp_ablation_inner`.
+    pub f_constant: f64,
+    /// Seed for the build-time core-set sampling.
+    pub seed: u64,
+}
+
+impl Theorem1Params {
+    /// Paper defaults: `λ` per problem, `c = 12`.
+    pub fn new(lambda: f64) -> Self {
+        Theorem1Params {
+            lambda,
+            f_constant: 12.0,
+            seed: 0x7061706572, // "paper"
+        }
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A hierarchy of nested core-sets with a prioritized structure per level;
+/// answers top-f queries per §3.2.
+struct Hierarchy<I> {
+    /// `levels[0]` is built on the ground set itself.
+    levels: Vec<I>,
+    /// `pivot_rank[i]`: the distinguished weight-rank in `q(R_{i+1})` whose
+    /// element has rank `[f, 4f]` in `q(Rᵢ)` w.h.p. (`⌈8λ·ln|Rᵢ|⌉`).
+    pivot_rank: Vec<usize>,
+    f: usize,
+}
+
+impl<I> Hierarchy<I> {
+    fn build<E, Q, PB>(
+        model: &CostModel,
+        builder: &PB,
+        items: Vec<E>,
+        f: usize,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> Self
+    where
+        E: Element,
+        PB: PrioritizedBuilder<E, Q, Index = I>,
+    {
+        let params = CoreSetParams { lambda, k: f };
+        let mut sets: Vec<Vec<E>> = vec![items];
+        let mut pivot_rank = Vec::new();
+        while sets.last().unwrap().len() > 4 * f {
+            let prev = sets.last().unwrap();
+            let cs = core_set(rng, prev, &params);
+            if cs.len() >= prev.len() {
+                // Sampling cannot shrink (p saturated) — stop; queries on
+                // this level will use the verified fallback.
+                break;
+            }
+            pivot_rank.push(params.sample_rank(prev.len()));
+            sets.push(cs);
+        }
+        let levels = sets
+            .into_iter()
+            .map(|s| builder.build(model, s))
+            .collect();
+        Hierarchy {
+            levels,
+            pivot_rank,
+            f,
+        }
+    }
+
+    /// Top-f query on level `i` (per the induction of §3.2). Returns the
+    /// `min(f, |q(Rᵢ)|)` heaviest elements of `q(Rᵢ)`, heaviest first.
+    fn query_topf<E, Q>(&self, model: &CostModel, q: &Q, i: usize) -> Vec<E>
+    where
+        E: Element,
+        I: PrioritizedIndex<E, Q>,
+    {
+        let idx = &self.levels[i];
+        let mut out = Vec::new();
+        match idx.query_monitored(q, 0, 4 * self.f, &mut out) {
+            Monitored::Complete => {
+                // |q(Rᵢ)| ≤ 4f: k-selection finishes.
+                select::top_k_by_weight(model, &out, self.f, Element::weight)
+            }
+            Monitored::Truncated => {
+                // |q(Rᵢ)| > 4f: consult the next core-set for a pivot.
+                if i + 1 < self.levels.len() {
+                    let rec = self.query_topf(model, q, i + 1);
+                    let r = self.pivot_rank[i];
+                    if rec.len() >= r {
+                        let tau = rec[r - 1].weight();
+                        let mut s = Vec::new();
+                        let m = idx.query_monitored(q, tau, 4 * self.f, &mut s);
+                        if m == Monitored::Complete && s.len() >= self.f {
+                            // s is exactly {e ∈ q(Rᵢ) : w(e) ≥ τ} and has ≥ f
+                            // elements, so it contains the top-f.
+                            return select::top_k_by_weight(model, &s, self.f, Element::weight);
+                        }
+                        // Pivot rank fell outside [f, 4f] — Lemma 2 failure.
+                    }
+                }
+                // Verified fallback: exact full prioritized query.
+                let mut all = Vec::new();
+                idx.query(q, 0, &mut all);
+                select::top_k_by_weight(model, &all, self.f, Element::weight)
+            }
+        }
+    }
+
+    fn space_blocks<E, Q>(&self) -> u64
+    where
+        E: Element,
+        I: PrioritizedIndex<E, Q>,
+    {
+        self.levels.iter().map(|l| l.space_blocks()).sum()
+    }
+}
+
+/// One rung of the doubling ladder for `k > f`: a core-set of `D` with
+/// `K = 2^{i-1}·f`, its own top-f hierarchy, and its pivot rank in `q(D)`.
+struct Rung<I> {
+    hierarchy: Hierarchy<I>,
+    /// `K = 2^{i-1}·f` for this rung.
+    k_cap: usize,
+    /// `⌈8λ·ln n⌉`: rank in `q(R[i])` of the pivot for `q(D)`.
+    pivot_rank: usize,
+}
+
+/// The Theorem 1 top-k structure. See the module docs.
+///
+/// ```
+/// use topk_core::{CostModel, EmConfig, Theorem1Params, TopKIndex, WorstCaseTopK};
+/// use topk_core::toy::{PrefixBuilder, PrefixQuery, ToyElem};
+///
+/// let model = CostModel::new(EmConfig::new(64));
+/// let items: Vec<ToyElem> = (0..500).map(|i| ToyElem { x: i, w: (i * 7 + 1) % 501 + i }).collect();
+/// # let mut seen = std::collections::HashSet::new();
+/// # let items: Vec<ToyElem> = items.into_iter().filter(|e| seen.insert(e.w)).collect();
+/// let topk = WorstCaseTopK::build(&model, &PrefixBuilder, items, Theorem1Params::new(1.0));
+/// let mut out = Vec::new();
+/// topk.query_topk(&PrefixQuery { x_max: 250 }, 5, &mut out);
+/// assert_eq!(out.len(), 5);
+/// assert!(out.windows(2).all(|w| w[0].w > w[1].w));
+/// ```
+pub struct WorstCaseTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    model: CostModel,
+    /// `f = ⌈c·λ·B·Q_pri(n)⌉`, the small/large-k boundary.
+    f: usize,
+    /// D itself, blocked, for `k ≥ n/2` scans and final fallbacks.
+    data: BlockArray<E>,
+    /// Top-f hierarchy on D; its level 0 doubles as "the prioritized
+    /// structure on D" used by large-k queries.
+    base: Hierarchy<PB::Index>,
+    /// The doubling ladder for `f < k < n/2`.
+    ladder: Vec<Rung<PB::Index>>,
+    _q: std::marker::PhantomData<Q>,
+}
+
+impl<E, Q, PB> WorstCaseTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    /// Build the structure on `items` (distinct weights required).
+    pub fn build(model: &CostModel, builder: &PB, items: Vec<E>, params: Theorem1Params) -> Self {
+        let n = items.len();
+        let b = model.b();
+        let q_pri = builder.query_cost(n.max(2), b);
+        let f = ((params.f_constant * params.lambda * b as f64 * q_pri).ceil() as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let data = BlockArray::new(model, items.clone());
+        let base = Hierarchy::build(model, builder, items.clone(), f, params.lambda, &mut rng);
+
+        // Ladder: K = 2^{i-1}·f for i = 1, 2, … while 2^{i-1}·f ≤ n.
+        let mut ladder = Vec::new();
+        let mut k_cap = f;
+        while k_cap <= n {
+            let cs_params = CoreSetParams {
+                lambda: params.lambda,
+                k: k_cap,
+            };
+            let r = core_set(&mut rng, &items, &cs_params);
+            let pivot_rank = cs_params.sample_rank(n.max(2));
+            let hierarchy =
+                Hierarchy::build(model, builder, r, f, params.lambda, &mut rng);
+            ladder.push(Rung {
+                hierarchy,
+                k_cap,
+                pivot_rank,
+            });
+            match k_cap.checked_mul(2) {
+                Some(next) => k_cap = next,
+                None => break,
+            }
+        }
+
+        WorstCaseTopK {
+            model: model.clone(),
+            f,
+            data,
+            base,
+            ladder,
+            _q: std::marker::PhantomData,
+        }
+    }
+
+    /// The boundary `f` between the hierarchy regime and the ladder regime.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Number of hierarchy levels built on `D` (`h` in §3.2).
+    pub fn hierarchy_depth(&self) -> usize {
+        self.base.levels.len()
+    }
+
+    /// Number of ladder rungs (`h` of the `k > f` construction).
+    pub fn ladder_rungs(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// The prioritized structure on `D` (level 0 of the base hierarchy).
+    fn d_structure(&self) -> &PB::Index {
+        &self.base.levels[0]
+    }
+
+    fn query_large_k(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        let n = self.data.len();
+        // k ≥ n/2: the paper scans D in O(n/B) = O(k/B). A black-box
+        // reduction cannot evaluate the predicate on raw elements, so the
+        // "scan" is a full prioritized query with τ = -∞ — same asymptotic
+        // cost (Q_pri(n) + O(n/B) = O(k/B) given Q_pri(n) = O(n/B)).
+        if 2 * k >= n {
+            let mut s = Vec::new();
+            self.d_structure().query(q, 0, &mut s);
+            out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+            return;
+        }
+        // Smallest rung with K ≥ k.
+        let rung = match self.ladder.iter().find(|r| r.k_cap >= k) {
+            Some(r) => r,
+            None => {
+                // k exceeds the ladder (can only happen for tiny n): exact.
+                let mut s = Vec::new();
+                self.d_structure().query(q, 0, &mut s);
+                out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+                return;
+            }
+        };
+        let cap = rung.k_cap;
+
+        // |q(D)| ≤ 4K ⇒ cost-monitored query finishes it.
+        let mut s1 = Vec::new();
+        if self
+            .d_structure()
+            .query_monitored(q, 0, 4 * cap, &mut s1)
+            == Monitored::Complete
+        {
+            out.extend(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+            return;
+        }
+
+        // |q(D)| > 4K: pivot from the rung's top-f hierarchy.
+        let rec = rung.hierarchy.query_topf(&self.model, q, 0);
+        if rec.len() >= rung.pivot_rank {
+            let tau = rec[rung.pivot_rank - 1].weight();
+            let mut s = Vec::new();
+            let m = self
+                .d_structure()
+                .query_monitored(q, tau, 4 * cap, &mut s);
+            if m == Monitored::Complete && s.len() >= k {
+                out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+                return;
+            }
+        }
+        // Verified fallback (Lemma 2 failed for this q): exact full query.
+        let mut all = Vec::new();
+        self.d_structure().query(q, 0, &mut all);
+        out.extend(select::top_k_by_weight(&self.model, &all, k, Element::weight));
+    }
+
+}
+
+impl<E, Q, PB> TopKIndex<E, Q> for WorstCaseTopK<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    fn query_topk(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        if k == 0 || self.data.is_empty() {
+            return;
+        }
+        if k <= self.f {
+            // Treat as top-f, then k-select (§3.2).
+            let mut top_f = self.base.query_topf(&self.model, q, 0);
+            top_f.truncate(k);
+            out.extend(top_f);
+        } else {
+            self.query_large_k(q, k, out);
+        }
+    }
+
+    fn space_blocks(&self) -> u64 {
+        self.data.blocks()
+            + self.base.space_blocks::<E, Q>()
+            + self
+                .ladder
+                .iter()
+                .map(|r| r.hierarchy.space_blocks::<E, Q>())
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::toy::{PrefixBuilder, PrefixQuery, ToyElem};
+    use rand::Rng;
+
+    fn mk_items(n: usize, seed: u64) -> Vec<ToyElem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights: Vec<u64> = (1..=n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        (0..n)
+            .map(|i| ToyElem {
+                x: i as u64,
+                w: weights[i],
+            })
+            .collect()
+    }
+
+    fn check_against_brute(n: usize, b: usize, ks: &[usize], queries: &[u64]) {
+        let model = CostModel::new(emsim::EmConfig::new(b));
+        let items = mk_items(n, 99);
+        let builder = PrefixBuilder;
+        let t1 = WorstCaseTopK::build(
+            &model,
+            &builder,
+            items.clone(),
+            Theorem1Params::new(1.0).with_seed(7),
+        );
+        for &qx in queries {
+            let q = PrefixQuery { x_max: qx };
+            for &k in ks {
+                let mut got = Vec::new();
+                t1.query_topk(&q, k, &mut got);
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                assert_eq!(
+                    got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    "n={n} b={b} q={qx} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_small() {
+        check_against_brute(200, 64, &[1, 2, 5, 50, 100, 199, 200, 300], &[0, 10, 150, 199]);
+    }
+
+    #[test]
+    fn exact_medium() {
+        check_against_brute(
+            5_000,
+            64,
+            &[1, 7, 64, 500, 2_500, 4_999],
+            &[0, 100, 2_500, 4_999],
+        );
+    }
+
+    #[test]
+    fn exact_in_ram_model() {
+        check_against_brute(1_000, 4, &[1, 3, 10, 500, 999], &[5, 500, 999]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        let model = CostModel::ram();
+        let t1 = WorstCaseTopK::build(
+            &model,
+            &PrefixBuilder,
+            Vec::<ToyElem>::new(),
+            Theorem1Params::new(1.0),
+        );
+        let mut out = Vec::new();
+        t1.query_topk(&PrefixQuery { x_max: 10 }, 5, &mut out);
+        assert!(out.is_empty());
+
+        let items = mk_items(10, 3);
+        let t1 = WorstCaseTopK::build(&model, &PrefixBuilder, items, Theorem1Params::new(1.0));
+        t1.query_topk(&PrefixQuery { x_max: 10 }, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn space_is_linear_in_n() {
+        // S_top(n) = O(S_pri(n)); with the toy's linear-space prioritized
+        // structure the whole thing must stay within a small multiple of n/B.
+        let b = 64;
+        let model = CostModel::new(emsim::EmConfig::new(b));
+        let n = 60_000;
+        let items = mk_items(n, 1);
+        let t1 = WorstCaseTopK::build(&model, &PrefixBuilder, items, Theorem1Params::new(1.0));
+        let n_blocks = (n as u64).div_ceil((b / 2) as u64); // 2 words per ToyElem
+        assert!(
+            t1.space_blocks() <= 8 * n_blocks,
+            "space {} vs n-blocks {}",
+            t1.space_blocks(),
+            n_blocks
+        );
+    }
+
+    #[test]
+    fn hierarchy_shrinks_geometrically() {
+        let b = 64;
+        let model = CostModel::new(emsim::EmConfig::new(b));
+        let n = 120_000;
+        let items = mk_items(n, 2);
+        let t1 = WorstCaseTopK::build(&model, &PrefixBuilder, items, Theorem1Params::new(1.0));
+        // f = 12·B·Q_pri ≈ 12·64·log_B n; hierarchy should be shallow.
+        assert!(t1.hierarchy_depth() <= 6, "depth {}", t1.hierarchy_depth());
+        assert!(t1.ladder_rungs() >= 1);
+    }
+}

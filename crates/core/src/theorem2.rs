@@ -1,0 +1,623 @@
+//! **Theorem 2** — the expected no-degradation reduction from top-k to
+//! prioritized + max reporting (§4 of the paper).
+//!
+//! Given a prioritized structure (`S_pri`, `Q_pri + O(t/B)`) and a max
+//! structure (`S_max = O(n²/B)`, geometrically converging, `Q_max`),
+//! [`ExpectedTopK`] answers top-k queries in expected
+//! `O(Q_pri(n) + Q_max(n) + k/B)` I/Os using expected
+//! `O(S_pri(n) + S_max(6n/(B·Q_max(n))))` space — *no performance
+//! degradation*. If both inputs are dynamic, updates cost expected
+//! `O(U_pri + U_max)`.
+//!
+//! ## Construction (§4)
+//!
+//! Fix `σ = 1/20` and `K_i = B·Q_max(n)·(1+σ)^{i-1}` for `i = 1..h` where
+//! `h` is maximal with `K_h ≤ n/4`. Keep a prioritized structure on `D` and,
+//! for each `i`, a max structure on an independent `(1/K_i)`-sample `R_i`.
+//!
+//! A top-k query locates the smallest `i` with `K_i ≥ k` and runs *rounds*
+//! `j = i, i+1, …`: the round asks the max structure on `R_j` for the
+//! heaviest sampled element `e` satisfying `q` — by Lemma 3 its weight-rank
+//! in `q(D)` is in `(K_j, 4K_j]` with probability ≥ 0.09 — then fetches
+//! everything above `w(e)` with one cost-monitored prioritized query.
+//! The round *verifies* its own success (the fetched set is complete and
+//! large enough to contain the top-k), so answers are always exact; failed
+//! rounds escalate `j` and the geometric success probability yields the
+//! expected cost bound.
+//!
+//! ## Updates
+//!
+//! Each element belongs to `R_i` independently with probability `1/K_i`, so
+//! it has `O(1)` expected copies. Insertion samples its memberships;
+//! deletion looks them up in an `O(1)`-expected-time hash table keyed by the
+//! (distinct) weight — the "bookkeeping" of §4. We additionally rebuild the
+//! whole structure when `n` drifts by 2× from the size it was built for
+//! (the paper's analysis treats `n` as stationary; periodic rebuilding is
+//! the standard way to discharge that assumption, amortized `O(build/n)`).
+
+use std::collections::HashMap;
+
+use emsim::{select, CostModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::{
+    DynamicIndex, Element, MaxBuilder, MaxIndex, Monitored, PrioritizedBuilder, PrioritizedIndex,
+    TopKIndex, Weight,
+};
+
+/// Tunables of the Theorem 2 construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem2Params {
+    /// The geometric ratio `σ`; the paper fixes `1/20`.
+    pub sigma: f64,
+    /// Constant in `K_1 = c·B·Q_max(n)`; the paper uses `c = 1`.
+    pub k1_constant: f64,
+    /// Seed for the build/update-time sampling.
+    pub seed: u64,
+}
+
+impl Default for Theorem2Params {
+    fn default() -> Self {
+        Theorem2Params {
+            sigma: 0.05,
+            k1_constant: 1.0,
+            seed: 0x746f706b32, // "topk2"
+        }
+    }
+}
+
+/// The Theorem 2 top-k structure. See the module docs.
+///
+/// ```
+/// use topk_core::{CostModel, EmConfig, ExpectedTopK, Theorem2Params, TopKIndex};
+/// use topk_core::toy::{AllBuilder, AllMaxBuilder, AllQuery, ToyElem};
+///
+/// let model = CostModel::new(EmConfig::new(64));
+/// let items: Vec<ToyElem> = (0..1_000).map(|i| ToyElem { x: i, w: i + 1 }).collect();
+/// let topk = ExpectedTopK::build(&model, AllBuilder, AllMaxBuilder, items,
+///                                Theorem2Params::default());
+/// let mut out = Vec::new();
+/// topk.query_topk(&AllQuery, 3, &mut out);
+/// assert_eq!(out.iter().map(|e| e.w).collect::<Vec<_>>(), vec![1_000, 999, 998]);
+/// ```
+pub struct ExpectedTopK<E, Q, PB, MB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+{
+    model: CostModel,
+    params: Theorem2Params,
+    pri_builder: PB,
+    max_builder: MB,
+    /// The prioritized structure on `D`.
+    pri: PB::Index,
+    /// `maxes[j]` is the max structure on the `(1/K_{j+1})`-sample `R_{j+1}`.
+    maxes: Vec<MB::Index>,
+    /// The thresholds `K_1 < K_2 < … < K_h`.
+    ks: Vec<f64>,
+    /// The data set itself (for the naive `O(n/B)` path and rebuilds),
+    /// with a weight → position map for O(1)-expected deletes.
+    data: Vec<E>,
+    positions: HashMap<Weight, usize>,
+    /// weight → indices of the `R_i`s containing the element (§4 bookkeeping).
+    membership: HashMap<Weight, Vec<u32>>,
+    /// `n` at the last (re)build; drifting 2× triggers a rebuild.
+    built_n: usize,
+    rng: StdRng,
+    _q: std::marker::PhantomData<Q>,
+}
+
+impl<E, Q, PB, MB> ExpectedTopK<E, Q, PB, MB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+{
+    /// Build on `items` (distinct weights required).
+    pub fn build(
+        model: &CostModel,
+        pri_builder: PB,
+        max_builder: MB,
+        items: Vec<E>,
+        params: Theorem2Params,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let parts = construct(model, &pri_builder, &max_builder, &params, &mut rng, items);
+        ExpectedTopK {
+            model: model.clone(),
+            params,
+            pri_builder,
+            max_builder,
+            pri: parts.pri,
+            maxes: parts.maxes,
+            ks: parts.ks,
+            data: parts.data,
+            positions: parts.positions,
+            membership: parts.membership,
+            built_n: parts.built_n,
+            rng,
+            _q: std::marker::PhantomData,
+        }
+    }
+
+    /// Reconstruct every component from scratch on `items` (used when `n`
+    /// drifts 2× from the built size).
+    fn rebuild(&mut self, items: Vec<E>) {
+        let parts = construct(
+            &self.model,
+            &self.pri_builder,
+            &self.max_builder,
+            &self.params,
+            &mut self.rng,
+            items,
+        );
+        self.pri = parts.pri;
+        self.maxes = parts.maxes;
+        self.ks = parts.ks;
+        self.data = parts.data;
+        self.positions = parts.positions;
+        self.membership = parts.membership;
+        self.built_n = parts.built_n;
+    }
+
+    /// The number of sampling levels `h`.
+    pub fn levels(&self) -> usize {
+        self.ks.len()
+    }
+
+    /// Sizes of the samples `R_1..R_h` (diagnostics for `exp_theorem2`).
+    pub fn sample_sizes(&self) -> Vec<usize> {
+        self.maxes.iter().map(|m| m.len()).collect()
+    }
+
+    /// Number of elements currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Naive path: read all of `D` and k-select (`O(n/B)`).
+    fn naive(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        // A black-box reduction cannot evaluate predicates on raw elements,
+        // so "read the whole D" is a full prioritized query with τ = -∞
+        // (cost Q_pri + O(n/B) = O(n/B) for any sane Q_pri).
+        let mut s = Vec::new();
+        self.pri.query(q, 0, &mut s);
+        out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+        let _ = q;
+    }
+
+    /// One round of the §4 query procedure at level `j` (0-based into
+    /// `self.ks`). Returns `Some(result)` on success.
+    fn round(&self, q: &Q, k: usize, j: usize) -> Option<Vec<E>> {
+        let cap = self.ks[j].ceil() as usize;
+
+        // Step 1: if |q(D)| ≤ 4K_j the monitored query completes.
+        let mut s1 = Vec::new();
+        if self.pri.query_monitored(q, 0, 4 * cap, &mut s1) == Monitored::Complete {
+            return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+        }
+
+        // Step 2: heaviest sampled element from the max structure on R_j.
+        let e = self.maxes[j].query_max(q);
+        let tau = match &e {
+            Some(e) => e.weight(),
+            // Empty q(R_j): dummy with w = -∞; the τ=0 query just ran and
+            // was truncated, so this round fails (step 4, case 3(b)).
+            None => return None,
+        };
+
+        // Step 3: prioritized query with τ = w(e), cost-monitored at 4K_j.
+        let mut s = Vec::new();
+        let m = self.pri.query_monitored(q, tau, 4 * cap, &mut s);
+
+        // Steps 4–5: succeed iff the fetch is complete and provably contains
+        // the top-k. The paper requires |S| > K_j; |S| ≥ k suffices for
+        // exactness (K_j ≥ k), and accepting it only lowers the failure
+        // probability below the 0.91 of the analysis.
+        if m == Monitored::Complete && s.len() >= k {
+            return Some(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+        }
+        None
+    }
+}
+
+/// The freshly built components shared by `build` and `rebuild`.
+struct Parts<E, PI, MI> {
+    pri: PI,
+    maxes: Vec<MI>,
+    ks: Vec<f64>,
+    data: Vec<E>,
+    positions: HashMap<Weight, usize>,
+    membership: HashMap<Weight, Vec<u32>>,
+    built_n: usize,
+}
+
+fn construct<E, Q, PB, MB>(
+    model: &CostModel,
+    pri_builder: &PB,
+    max_builder: &MB,
+    params: &Theorem2Params,
+    rng: &mut StdRng,
+    items: Vec<E>,
+) -> Parts<E, PB::Index, MB::Index>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+{
+    let n = items.len();
+    let b = model.b() as f64;
+    let q_max = max_builder.query_cost(n.max(2), model.b());
+    // K_1 = B·Q_max(n) per §4, capped at n/64 so the ladder stays non-empty
+    // when Q_max is large relative to n (a max structure with polylog² cost
+    // at small n would otherwise push K_1 past the K_h ≤ n/4 ceiling and
+    // force the naive path). Lowering K_1 only adds a few light sample
+    // levels; the round cost remains O(Q_pri + Q_max + K_j/B).
+    let k1 = (params.k1_constant * b * q_max)
+        .max(1.0)
+        .min((n as f64 / 64.0).max(b));
+
+    // K_i ladder: K_1, K_1(1+σ), …, ≤ n/4.
+    let mut ks = Vec::new();
+    let mut k = k1;
+    while k <= n as f64 / 4.0 {
+        ks.push(k);
+        k *= 1.0 + params.sigma;
+    }
+
+    // Sample memberships element-major so each element's copies are recorded
+    // once (the §4 bookkeeping).
+    let mut membership = HashMap::new();
+    let mut samples: Vec<Vec<E>> = vec![Vec::new(); ks.len()];
+    for e in &items {
+        let mut levels = Vec::new();
+        for (j, &kj) in ks.iter().enumerate() {
+            if rng.gen::<f64>() < 1.0 / kj {
+                samples[j].push(e.clone());
+                levels.push(j as u32);
+            }
+        }
+        if !levels.is_empty() {
+            membership.insert(e.weight(), levels);
+        }
+    }
+
+    let pri = pri_builder.build(model, items.clone());
+    let maxes = samples
+        .into_iter()
+        .map(|r| max_builder.build(model, r))
+        .collect();
+
+    let positions: HashMap<Weight, usize> = items
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.weight(), i))
+        .collect();
+    assert_eq!(positions.len(), n, "weights must be distinct");
+    Parts {
+        pri,
+        maxes,
+        ks,
+        data: items,
+        positions,
+        membership,
+        built_n: n.max(1),
+    }
+}
+
+impl<E, Q, PB, MB> TopKIndex<E, Q> for ExpectedTopK<E, Q, PB, MB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+{
+    fn query_topk(&self, q: &Q, k: usize, out: &mut Vec<E>) {
+        if k == 0 || self.data.is_empty() {
+            return;
+        }
+        let n = self.data.len();
+
+        // k below B·Q_max: treat as top-K_1, then k-select (§4 "Query").
+        let k_eff = match self.ks.first() {
+            Some(&k1) => (k1.ceil() as usize).max(k),
+            None => {
+                // No levels (n ≤ 4K_1): naive.
+                self.naive(q, k, out);
+                return;
+            }
+        };
+
+        // k beyond K_h: naive O(n/B) = O(k/B).
+        if k_eff as f64 > *self.ks.last().unwrap() || k_eff >= n {
+            self.naive(q, k, out);
+            return;
+        }
+
+        // Smallest i with K_i ≥ k_eff; then rounds j = i..h.
+        let i = self.ks.partition_point(|&kj| kj < k_eff as f64);
+        for j in i..self.ks.len() {
+            if let Some(result) = self.round(q, k, j) {
+                out.extend(result);
+                return;
+            }
+        }
+        // All rounds failed (probability ≤ 0.91^h): naive.
+        self.naive(q, k, out);
+    }
+
+    fn space_blocks(&self) -> u64 {
+        let per = self.model.config().items_per_block::<E>().max(1) as u64;
+        let data_blocks = (self.data.len() as u64).div_ceil(per);
+        self.pri.space_blocks()
+            + self.maxes.iter().map(|m| m.space_blocks()).sum::<u64>()
+            + data_blocks
+    }
+}
+
+impl<E, Q, PB, MB> DynamicIndex<E> for ExpectedTopK<E, Q, PB, MB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+    PB::Index: DynamicIndex<E>,
+    MB::Index: DynamicIndex<E>,
+{
+    fn insert(&mut self, e: E) {
+        let w = e.weight();
+        assert!(
+            !self.positions.contains_key(&w),
+            "duplicate weight {w} on insert"
+        );
+        self.pri.insert(e.clone());
+        let mut levels = Vec::new();
+        for (j, &kj) in self.ks.iter().enumerate() {
+            if self.rng.gen::<f64>() < 1.0 / kj {
+                self.maxes[j].insert(e.clone());
+                levels.push(j as u32);
+            }
+        }
+        if !levels.is_empty() {
+            self.membership.insert(w, levels);
+        }
+        self.positions.insert(w, self.data.len());
+        self.data.push(e);
+        if self.data.len() > 2 * self.built_n {
+            let items = std::mem::take(&mut self.data);
+            self.rebuild(items);
+        }
+    }
+
+    fn delete(&mut self, weight: Weight) -> bool {
+        let Some(pos) = self.positions.remove(&weight) else {
+            return false;
+        };
+        self.pri.delete(weight);
+        if let Some(levels) = self.membership.remove(&weight) {
+            for j in levels {
+                self.maxes[j as usize].delete(weight);
+            }
+        }
+        self.data.swap_remove(pos);
+        if pos < self.data.len() {
+            self.positions.insert(self.data[pos].weight(), pos);
+        }
+        if self.built_n >= 2 && self.data.len() < self.built_n / 2 {
+            let items = std::mem::take(&mut self.data);
+            self.rebuild(items);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::toy::{
+        AllBuilder, AllMaxBuilder, AllQuery, PrefixBuilder, PrefixMaxBuilder, PrefixQuery, ToyElem,
+    };
+    use emsim::EmConfig;
+
+    fn mk_items(n: usize, seed: u64) -> Vec<ToyElem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights: Vec<u64> = (1..=n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        (0..n)
+            .map(|i| ToyElem {
+                x: i as u64,
+                w: weights[i],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_trivial_predicate() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(20_000, 5);
+        let t2 = ExpectedTopK::build(
+            &model,
+            AllBuilder,
+            AllMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        assert!(t2.levels() > 0);
+        for k in [1usize, 2, 10, 64, 100, 1_000, 9_999, 19_999, 20_000, 30_000] {
+            let mut got = Vec::new();
+            t2.query_topk(&AllQuery, k, &mut got);
+            let want = brute::top_k(&items, |_| true, k);
+            assert_eq!(
+                got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_prefix_predicate() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(5_000, 9);
+        let t2 = ExpectedTopK::build(
+            &model,
+            PrefixBuilder,
+            PrefixMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        for qx in [0u64, 100, 2_500, 4_999] {
+            for k in [1usize, 5, 100, 1_000, 4_999] {
+                let mut got = Vec::new();
+                t2.query_topk(&PrefixQuery { x_max: qx }, k, &mut got);
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                assert_eq!(
+                    got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    "q={qx} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_naive_path() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(50, 1);
+        let t2 = ExpectedTopK::build(
+            &model,
+            AllBuilder,
+            AllMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        assert_eq!(t2.levels(), 0); // n/4 < K_1 = B
+        let mut got = Vec::new();
+        t2.query_topk(&AllQuery, 7, &mut got);
+        assert_eq!(got.len(), 7);
+        assert_eq!(got[0].w, 50);
+    }
+
+    #[test]
+    fn sample_sizes_decay_geometrically() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(100_000, 3);
+        let t2 = ExpectedTopK::build(
+            &model,
+            AllBuilder,
+            AllMaxBuilder,
+            items,
+            Theorem2Params::default(),
+        );
+        let sizes = t2.sample_sizes();
+        assert!(!sizes.is_empty());
+        // E|R_1| = n/K_1 = 100000/64 ≈ 1562; allow wide slack.
+        assert!(sizes[0] > 800 && sizes[0] < 2_600, "R_1 = {}", sizes[0]);
+        // Total copies across all levels ≈ n/K_1 · 1/(1-1/(1+σ)) ≈ 21·n/K_1.
+        let total: usize = sizes.iter().sum();
+        assert!(total < 60_000, "total copies {total}");
+        assert!(*sizes.last().unwrap() <= sizes[0]);
+    }
+
+    #[test]
+    fn dynamic_updates_match_brute() {
+        use crate::toy::{DynPrefixBuilder, DynPrefixMaxBuilder};
+        let model = CostModel::new(EmConfig::new(64));
+        let mut items = mk_items(3_000, 71);
+        let mut t2 = ExpectedTopK::build(
+            &model,
+            DynPrefixBuilder,
+            DynPrefixMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut next_w = 1_000_000u64;
+        for step in 0..1_500 {
+            if rng.gen_bool(0.5) || items.is_empty() {
+                let e = ToyElem {
+                    x: rng.gen_range(0..5_000),
+                    w: next_w,
+                };
+                next_w += 1;
+                t2.insert(e);
+                items.push(e);
+            } else {
+                let i = rng.gen_range(0..items.len());
+                let e = items.swap_remove(i);
+                assert!(t2.delete(e.w), "step {step}");
+                assert!(!t2.delete(e.w), "double delete step {step}");
+            }
+            if step % 173 == 0 {
+                let qx = rng.gen_range(0..5_000);
+                for k in [1usize, 9, 120] {
+                    let mut got = Vec::new();
+                    t2.query_topk(&PrefixQuery { x_max: qx }, k, &mut got);
+                    let want = brute::top_k(&items, |e| e.x <= qx, k);
+                    assert_eq!(
+                        got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                        want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                        "step {step} q={qx} k={k}"
+                    );
+                }
+            }
+        }
+        assert_eq!(t2.len(), items.len());
+    }
+
+    #[test]
+    fn dynamic_rebuild_triggers_on_growth_and_shrink() {
+        use crate::toy::{DynPrefixBuilder, DynPrefixMaxBuilder};
+        let model = CostModel::ram();
+        let items = mk_items(256, 73);
+        let mut t2 = ExpectedTopK::build(
+            &model,
+            DynPrefixBuilder,
+            DynPrefixMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        let built = t2.built_n;
+        // Grow past 2×: rebuild must bump built_n.
+        for i in 0..600u64 {
+            t2.insert(ToyElem { x: i, w: 10_000 + i });
+        }
+        assert!(t2.built_n > built, "rebuild on growth");
+        let grown = t2.built_n;
+        // Shrink below half: rebuild again.
+        let mut weights: Vec<u64> = (0..600).map(|i| 10_000 + i).collect();
+        weights.extend(items.iter().map(|e| e.w));
+        for w in weights.iter().take(700) {
+            t2.delete(*w);
+        }
+        assert!(t2.built_n < grown, "rebuild on shrink");
+        // Still exact.
+        let mut got = Vec::new();
+        t2.query_topk(&PrefixQuery { x_max: u64::MAX }, 10, &mut got);
+        assert_eq!(got.len(), 10.min(t2.len()));
+    }
+
+    #[test]
+    fn expectation_argument_membership_is_sparse() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(50_000, 4);
+        let t2 = ExpectedTopK::build(
+            &model,
+            AllBuilder,
+            AllMaxBuilder,
+            items,
+            Theorem2Params::default(),
+        );
+        // Elements with ≥1 copy should be a small fraction of n.
+        assert!(t2.membership.len() < 25_000);
+    }
+}

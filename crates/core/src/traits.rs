@@ -1,0 +1,235 @@
+//! The framework traits tying the reductions to concrete problems.
+//!
+//! The paper's setting (§1): a domain `𝔻` of elements, a family `ℚ` of
+//! predicates, a set `D ⊆ 𝔻` of `n` weighted elements. Three query types
+//! are related by the reductions:
+//!
+//! * **prioritized reporting** — given `(q, τ)`, report `{e ∈ q(D) : w(e) ≥ τ}`;
+//! * **max reporting** — given `q`, report `arg max_{e ∈ q(D)} w(e)`;
+//! * **top-k reporting** — given `(q, k)`, report the `k` heaviest of `q(D)`.
+//!
+//! A problem plugs into the reductions by providing builders
+//! ([`PrioritizedBuilder`], [`MaxBuilder`]) that can construct its
+//! structures *on arbitrary subsets* of the input — the reductions build
+//! them on core-sets and random samples.
+
+use emsim::CostModel;
+
+/// Weights are unsigned 64-bit and pairwise distinct (paper §1.1). Because
+/// they are distinct, a weight doubles as a unique element identifier, which
+/// the dynamic bookkeeping of Theorem 2 exploits.
+pub type Weight = u64;
+
+/// An element of the data set: `O(1)` words, cheaply clonable, with a
+/// distinct weight.
+pub trait Element: Clone {
+    /// This element's weight.
+    fn weight(&self) -> Weight;
+}
+
+/// Outcome of a cost-monitored query (§3.2): the query either ran to
+/// completion, or was cut off after reporting `limit + 1` elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Monitored {
+    /// The query terminated by itself; the output is the full answer.
+    Complete,
+    /// The query was terminated manually after `limit + 1` reports; the
+    /// output is a *subset* of the answer and certifies `|answer| > limit`.
+    Truncated,
+}
+
+/// A structure answering prioritized-reporting queries.
+///
+/// Implementors provide [`PrioritizedIndex::for_each_at_least`] — an
+/// early-terminating visitor — plus the space/size accessors; `query` and
+/// `query_monitored` are derived. Visit order is unconstrained.
+pub trait PrioritizedIndex<E: Element, Q> {
+    /// Visit every element satisfying `q` with weight `≥ tau` until `visit`
+    /// returns `false`. (`tau = 0` means no weight constraint, i.e. `τ = -∞`
+    /// in the paper, since all weights are unsigned.)
+    fn for_each_at_least(&self, q: &Q, tau: Weight, visit: &mut dyn FnMut(&E) -> bool);
+
+    /// Space occupied, in blocks of the underlying [`CostModel`].
+    fn space_blocks(&self) -> u64;
+
+    /// Number of elements indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the structure indexes no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Report all elements satisfying `q` with weight `≥ tau` into `out`.
+    fn query(&self, q: &Q, tau: Weight, out: &mut Vec<E>) {
+        self.for_each_at_least(q, tau, &mut |e| {
+            out.push(e.clone());
+            true
+        });
+    }
+
+    /// Cost-monitored query (§3.2): stop as soon as `limit + 1` elements
+    /// have been reported. On [`Monitored::Complete`], `out` is the entire
+    /// answer; on [`Monitored::Truncated`], `out` holds `limit + 1` of its
+    /// elements and certifies the answer is larger than `limit`.
+    fn query_monitored(&self, q: &Q, tau: Weight, limit: usize, out: &mut Vec<E>) -> Monitored {
+        let mut truncated = false;
+        self.for_each_at_least(q, tau, &mut |e| {
+            out.push(e.clone());
+            if out.len() > limit {
+                truncated = true;
+                false
+            } else {
+                true
+            }
+        });
+        if truncated {
+            Monitored::Truncated
+        } else {
+            Monitored::Complete
+        }
+    }
+}
+
+/// A structure answering max-reporting (top-1) queries.
+pub trait MaxIndex<E: Element, Q> {
+    /// The heaviest element satisfying `q`, or `None` if `q(D) = ∅`.
+    fn query_max(&self, q: &Q) -> Option<E>;
+
+    /// Space occupied, in blocks.
+    fn space_blocks(&self) -> u64;
+
+    /// Number of elements indexed.
+    fn len(&self) -> usize;
+}
+
+/// A structure answering top-k queries — the target of the reductions.
+pub trait TopKIndex<E: Element, Q> {
+    /// Report the `k` heaviest elements of `q(D)` into `out`, heaviest
+    /// first. If `|q(D)| < k`, the entire `q(D)` is reported (paper §1).
+    fn query_topk(&self, q: &Q, k: usize, out: &mut Vec<E>);
+
+    /// Space occupied, in blocks.
+    fn space_blocks(&self) -> u64;
+}
+
+/// Support for insertions and deletions (Theorem 2's dynamic variant).
+/// Elements are identified by their (distinct) weight.
+pub trait DynamicIndex<E: Element> {
+    /// Insert an element. Panics if an element with the same weight exists.
+    fn insert(&mut self, e: E);
+    /// Delete the element with this weight; returns whether it was present.
+    fn delete(&mut self, weight: Weight) -> bool;
+}
+
+/// Constructs prioritized structures on arbitrary subsets of the input, and
+/// states their query-cost function `Q_pri(n)` — the reductions size their
+/// core-sets and sample rates from it (e.g. `f = 12λB·Q_pri(n)`, eq. (9)).
+pub trait PrioritizedBuilder<E: Element, Q> {
+    /// The structure this builder produces.
+    type Index: PrioritizedIndex<E, Q>;
+
+    /// Build on the given elements (need not be sorted).
+    fn build(&self, model: &CostModel, items: Vec<E>) -> Self::Index;
+
+    /// `Q_pri(n)`: the query cost in block I/Os, *excluding* the `O(t/B)`
+    /// output term, on an input of `n` elements with block size `b`.
+    /// Theorem 1 requires `Q_pri(n) ≥ log_B n`; implementations should
+    /// return at least that.
+    fn query_cost(&self, n: usize, b: usize) -> f64;
+}
+
+/// Constructs max structures on arbitrary subsets of the input, stating
+/// their query cost `Q_max(n)` (Theorem 2 sets `K_1 = B·Q_max(n)` from it).
+pub trait MaxBuilder<E: Element, Q> {
+    /// The structure this builder produces.
+    type Index: MaxIndex<E, Q>;
+
+    /// Build on the given elements (need not be sorted).
+    fn build(&self, model: &CostModel, items: Vec<E>) -> Self::Index;
+
+    /// `Q_max(n)`: the query cost in block I/Os on `n` elements.
+    fn query_cost(&self, n: usize, b: usize) -> f64;
+}
+
+/// `log_B n`, clamped below by 1 — the unit in which the paper states
+/// query-cost preconditions (`Q_pri(n) ≥ log_B n`).
+pub fn log_b(n: usize, b: usize) -> f64 {
+    let n = n.max(2) as f64;
+    let b = (b.max(2)) as f64;
+    (n.ln() / b.ln()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct W(u64);
+    impl Element for W {
+        fn weight(&self) -> Weight {
+            self.0
+        }
+    }
+
+    /// Minimal in-memory prioritized index over the trivial predicate.
+    struct All(Vec<W>);
+    impl PrioritizedIndex<W, ()> for All {
+        fn for_each_at_least(&self, _q: &(), tau: Weight, visit: &mut dyn FnMut(&W) -> bool) {
+            for e in &self.0 {
+                if e.0 >= tau && !visit(e) {
+                    return;
+                }
+            }
+        }
+        fn space_blocks(&self) -> u64 {
+            1
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn derived_query_collects_all() {
+        let idx = All(vec![W(5), W(1), W(9), W(3)]);
+        let mut out = Vec::new();
+        idx.query(&(), 3, &mut out);
+        assert_eq!(out, vec![W(5), W(9), W(3)]);
+    }
+
+    #[test]
+    fn monitored_complete_when_answer_small() {
+        let idx = All(vec![W(5), W(1), W(9)]);
+        let mut out = Vec::new();
+        let m = idx.query_monitored(&(), 0, 10, &mut out);
+        assert_eq!(m, Monitored::Complete);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn monitored_truncates_at_limit_plus_one() {
+        let idx = All((0..100).map(W).collect());
+        let mut out = Vec::new();
+        let m = idx.query_monitored(&(), 0, 4, &mut out);
+        assert_eq!(m, Monitored::Truncated);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn monitored_exact_boundary_is_complete() {
+        // Exactly limit elements → Complete, not Truncated.
+        let idx = All((0..5).map(W).collect());
+        let mut out = Vec::new();
+        let m = idx.query_monitored(&(), 0, 5, &mut out);
+        assert_eq!(m, Monitored::Complete);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn log_b_is_clamped() {
+        assert_eq!(log_b(2, 64), 1.0);
+        assert!((log_b(64 * 64, 64) - 2.0).abs() < 1e-9);
+        assert_eq!(log_b(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! [`BlockArray`]: a typed array laid out in disk blocks.
+//!
+//! This is the basic storage primitive of the simulated EM machine: items
+//! are packed `⌊B / words(T)⌉` per block and every access charges the
+//! [`CostModel`] per distinct block touched. Sequential scans therefore cost
+//! `O(n/B)` I/Os and random probes cost one I/O each (modulo buffer-pool
+//! hits), matching the model of §1.1.
+
+use crate::cost::CostModel;
+
+/// A typed array stored in blocks of the simulated disk.
+#[derive(Debug)]
+pub struct BlockArray<T> {
+    data: Vec<T>,
+    per_block: usize,
+    array_id: u64,
+    model: CostModel,
+}
+
+impl<T> BlockArray<T> {
+    /// Store `data` on disk, charging the writes needed to lay it out.
+    pub fn new(model: &CostModel, data: Vec<T>) -> Self {
+        let per_block = model.config().items_per_block::<T>();
+        let blocks = data.len().div_ceil(per_block) as u64;
+        model.charge_writes(blocks);
+        BlockArray {
+            data,
+            per_block,
+            array_id: model.new_array_id(),
+            model: model.clone(),
+        }
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Items per block for this array's element type.
+    pub fn items_per_block(&self) -> usize {
+        self.per_block
+    }
+
+    /// Number of blocks occupied — the array's *space* in the EM model.
+    pub fn blocks(&self) -> u64 {
+        self.data.len().div_ceil(self.per_block) as u64
+    }
+
+    /// Random access to item `i`: charges the block containing `i`.
+    pub fn get(&self, i: usize) -> &T {
+        self.model.touch(self.array_id, (i / self.per_block) as u64);
+        &self.data[i]
+    }
+
+    /// Read items `[lo, hi)` sequentially, charging each block in the range
+    /// once, and call `f` on each item.
+    pub fn scan_range(&self, lo: usize, hi: usize, mut f: impl FnMut(&T)) {
+        assert!(lo <= hi && hi <= self.data.len(), "scan range out of bounds");
+        if lo == hi {
+            return;
+        }
+        let first_block = lo / self.per_block;
+        let last_block = (hi - 1) / self.per_block;
+        for b in first_block..=last_block {
+            self.model.touch(self.array_id, b as u64);
+        }
+        for item in &self.data[lo..hi] {
+            f(item);
+        }
+    }
+
+    /// Scan the whole array.
+    pub fn scan(&self, f: impl FnMut(&T)) {
+        self.scan_range(0, self.data.len(), f);
+    }
+
+    /// Scan `[lo, hi)` but stop early when `f` returns `false`. Blocks are
+    /// charged lazily, only as the scan reaches them. Returns the number of
+    /// items visited.
+    pub fn scan_while(&self, lo: usize, hi: usize, mut f: impl FnMut(&T) -> bool) -> usize {
+        assert!(lo <= hi && hi <= self.data.len(), "scan range out of bounds");
+        let mut visited = 0;
+        let mut current_block = usize::MAX;
+        for i in lo..hi {
+            let b = i / self.per_block;
+            if b != current_block {
+                self.model.touch(self.array_id, b as u64);
+                current_block = b;
+            }
+            visited += 1;
+            if !f(&self.data[i]) {
+                break;
+            }
+        }
+        visited
+    }
+
+    /// Binary search by a key extractor over an array sorted by that key.
+    /// Charges one I/O per probe, i.e. `O(log₂(n/B))`-ish with a pool, or
+    /// `O(log₂ n)` probes without. (B-tree search in [`crate::BTree`] gives
+    /// the `O(log_B n)` bound when that matters.)
+    pub fn partition_point(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.data.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            self.model.touch(self.array_id, (mid / self.per_block) as u64);
+            if pred(&self.data[mid]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Direct slice access **without charging I/Os**. For use by tests and
+    /// by build-time code that has already accounted for its passes.
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EmConfig;
+
+    fn model64() -> CostModel {
+        CostModel::new(EmConfig::new(64))
+    }
+
+    #[test]
+    fn build_charges_writes() {
+        let m = model64();
+        let a = BlockArray::new(&m, (0u64..130).collect());
+        assert_eq!(a.blocks(), 3);
+        assert_eq!(m.report().writes, 3);
+        assert_eq!(m.report().reads, 0);
+    }
+
+    #[test]
+    fn full_scan_costs_ceil_n_over_b() {
+        let m = model64();
+        let a = BlockArray::new(&m, (0u64..1000).collect());
+        m.reset();
+        let mut sum = 0u64;
+        a.scan(|x| sum += x);
+        assert_eq!(sum, 999 * 1000 / 2);
+        assert_eq!(m.report().reads, 1000u64.div_ceil(64));
+    }
+
+    #[test]
+    fn range_scan_charges_only_touched_blocks() {
+        let m = model64();
+        let a = BlockArray::new(&m, (0u64..640).collect());
+        m.reset();
+        let mut cnt = 0;
+        a.scan_range(60, 70, |_| cnt += 1); // straddles blocks 0 and 1
+        assert_eq!(cnt, 10);
+        assert_eq!(m.report().reads, 2);
+    }
+
+    #[test]
+    fn scan_while_stops_early_and_charges_lazily() {
+        let m = model64();
+        let a = BlockArray::new(&m, (0u64..6400).collect());
+        m.reset();
+        let visited = a.scan_while(0, 6400, |&x| x < 10);
+        assert_eq!(visited, 11); // 0..=10, stopping at 10
+        assert_eq!(m.report().reads, 1);
+    }
+
+    #[test]
+    fn partition_point_agrees_with_slice() {
+        let m = model64();
+        let v: Vec<u64> = (0..977).map(|i| i * 3).collect();
+        let a = BlockArray::new(&m, v.clone());
+        for probe in [0u64, 1, 2, 3, 1000, 2927, 2928, 5000] {
+            assert_eq!(
+                a.partition_point(|&x| x < probe),
+                v.partition_point(|&x| x < probe)
+            );
+        }
+    }
+
+    #[test]
+    fn get_charges_one_io_per_block() {
+        let m = model64();
+        let a = BlockArray::new(&m, (0u64..256).collect());
+        m.reset();
+        assert_eq!(*a.get(0), 0);
+        assert_eq!(*a.get(63), 63); // same block, but no pool: still 1 I/O
+        assert_eq!(*a.get(64), 64);
+        assert_eq!(m.report().reads, 3);
+    }
+
+    #[test]
+    fn pool_makes_repeat_gets_free() {
+        let m = CostModel::new(EmConfig::with_memory(64, 8));
+        let a = BlockArray::new(&m, (0u64..256).collect());
+        m.reset();
+        a.get(0);
+        a.get(1);
+        a.get(63);
+        assert_eq!(m.report().reads, 1);
+    }
+
+    #[test]
+    fn empty_scan_is_free() {
+        let m = model64();
+        let a: BlockArray<u64> = BlockArray::new(&m, vec![]);
+        m.reset();
+        a.scan(|_| panic!("no items"));
+        assert_eq!(m.report().reads, 0);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! The I/O cost meter shared by every structure in the workspace.
+//!
+//! A [`CostModel`] fixes the EM parameters `B` (words per block) and `M`
+//! (words of memory), counts block reads and writes, and optionally routes
+//! every access through an LRU buffer pool of `M/B` frames so that re-reads
+//! of memory-resident blocks are free — exactly the accounting of the
+//! Aggarwal–Vitter model the paper works in (§1.1).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::pool::LruPool;
+
+/// Parameters of the external-memory machine.
+///
+/// The paper assumes `B ≥ 64` for its constants to work out ((10), (11) in
+/// §3.2) and `M ≥ 2B`; [`EmConfig::new`] does not enforce the former so that
+/// the RAM model (`B = O(1)`, §1.1) can be simulated with the same code, but
+/// reduction implementations that rely on `B ≥ 64` assert it themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmConfig {
+    /// Words per disk block (the paper's `B`).
+    pub b: usize,
+    /// Number of block frames the buffer pool may hold (`M/B`).
+    /// `0` disables caching entirely: every block touch is one I/O.
+    pub mem_blocks: usize,
+}
+
+impl EmConfig {
+    /// A machine with block size `b` words and no buffer pool.
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 1, "block size must be positive");
+        EmConfig { b, mem_blocks: 0 }
+    }
+
+    /// A machine with block size `b` and a buffer pool of `mem_blocks` frames.
+    pub fn with_memory(b: usize, mem_blocks: usize) -> Self {
+        assert!(b >= 1, "block size must be positive");
+        EmConfig { b, mem_blocks }
+    }
+
+    /// The RAM model: unit-size blocks, no cache (§1.1: "by setting M and B
+    /// to appropriate constants, all our EM results also hold in RAM").
+    pub fn ram() -> Self {
+        EmConfig { b: 1, mem_blocks: 0 }
+    }
+
+    /// How many `T` items fit in one block (at least 1; a word is 8 bytes).
+    pub fn items_per_block<T>(&self) -> usize {
+        let words = std::mem::size_of::<T>().div_ceil(8).max(1);
+        (self.b / words).max(1)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: EmConfig,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    pool: RefCell<LruPool>,
+    next_array_id: Cell<u64>,
+    /// Per-array read counts, populated only while tracing is on.
+    trace: RefCell<Option<HashMap<u64, u64>>>,
+}
+
+/// A cheaply-cloneable handle to the shared I/O meter.
+///
+/// All structures built against the same `CostModel` charge the same
+/// counters, so a composite structure (e.g. a Theorem 1 reduction wrapping a
+/// hierarchy of prioritized structures) is measured end to end.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    inner: Rc<Inner>,
+}
+
+/// A snapshot of the meter, as returned by [`CostModel::report`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoReport {
+    /// Block reads charged so far.
+    pub reads: u64,
+    /// Block writes charged so far.
+    pub writes: u64,
+}
+
+impl IoReport {
+    /// Total I/Os (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl CostModel {
+    /// Create a meter for the given machine.
+    pub fn new(config: EmConfig) -> Self {
+        CostModel {
+            inner: Rc::new(Inner {
+                config,
+                reads: Cell::new(0),
+                writes: Cell::new(0),
+                pool: RefCell::new(LruPool::new(config.mem_blocks)),
+                next_array_id: Cell::new(0),
+                trace: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Convenience: a meter for the RAM model.
+    pub fn ram() -> Self {
+        CostModel::new(EmConfig::ram())
+    }
+
+    /// The machine parameters.
+    pub fn config(&self) -> EmConfig {
+        self.inner.config
+    }
+
+    /// Words per block (`B`).
+    pub fn b(&self) -> usize {
+        self.inner.config.b
+    }
+
+    /// Allocate a fresh identifier for a block-addressed structure (a
+    /// [`crate::BlockArray`], a tree's node arena, …) — used as the high
+    /// bits of buffer-pool keys so distinct structures never collide.
+    pub fn new_array_id(&self) -> u64 {
+        let id = self.inner.next_array_id.get();
+        self.inner.next_array_id.set(id + 1);
+        id
+    }
+
+    /// Charge the read of one specific block, going through the buffer pool:
+    /// a pool hit is free, a miss costs one read I/O.
+    pub fn touch(&self, array_id: u64, block_idx: u64) {
+        if self.inner.config.mem_blocks != 0 {
+            let mut pool = self.inner.pool.borrow_mut();
+            if pool.access(array_id, block_idx) {
+                return; // pool hit: free
+            }
+        }
+        self.inner.reads.set(self.inner.reads.get() + 1);
+        if let Some(trace) = self.inner.trace.borrow_mut().as_mut() {
+            *trace.entry(array_id).or_insert(0) += 1;
+        }
+    }
+
+    /// Start recording per-structure read counts (keyed by the array id each
+    /// structure drew from [`CostModel::new_array_id`]). Resets any previous
+    /// trace. Only `touch`-based reads are attributed; bulk `charge_*` calls
+    /// have no structure identity.
+    pub fn start_trace(&self) {
+        *self.inner.trace.borrow_mut() = Some(HashMap::new());
+    }
+
+    /// Stop tracing and return `(array_id, reads)` pairs, heaviest first.
+    pub fn stop_trace(&self) -> Vec<(u64, u64)> {
+        let map = self.inner.trace.borrow_mut().take().unwrap_or_default();
+        let mut v: Vec<(u64, u64)> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Charge `n` read I/Os unconditionally (for sequential scans, whose
+    /// blocks would evict each other anyway).
+    pub fn charge_reads(&self, n: u64) {
+        self.inner.reads.set(self.inner.reads.get() + n);
+    }
+
+    /// Charge `n` write I/Os.
+    pub fn charge_writes(&self, n: u64) {
+        self.inner.writes.set(self.inner.writes.get() + n);
+    }
+
+    /// Charge the cost of sequentially scanning `items` items of type `T`:
+    /// `⌈items / (B/words(T))⌉` reads.
+    pub fn charge_scan<T>(&self, items: usize) {
+        if items == 0 {
+            return;
+        }
+        let per = self.inner.config.items_per_block::<T>();
+        self.charge_reads(items.div_ceil(per) as u64);
+    }
+
+    /// Read the counters.
+    pub fn report(&self) -> IoReport {
+        IoReport {
+            reads: self.inner.reads.get(),
+            writes: self.inner.writes.get(),
+        }
+    }
+
+    /// Zero the counters (the buffer pool is *not* flushed; use
+    /// [`CostModel::clear_pool`] for a cold-cache measurement).
+    pub fn reset(&self) {
+        self.inner.reads.set(0);
+        self.inner.writes.set(0);
+    }
+
+    /// Empty the buffer pool, so the next measurement starts cold.
+    pub fn clear_pool(&self) {
+        self.inner.pool.borrow_mut().clear();
+    }
+
+    /// Run `f` and return its result together with the I/Os it charged.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, IoReport) {
+        let before = self.report();
+        let out = f();
+        let after = self.report();
+        (
+            out,
+            IoReport {
+                reads: after.reads - before.reads,
+                writes: after.writes - before.writes,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_per_block_rounds_down_but_is_positive() {
+        let c = EmConfig::new(64);
+        assert_eq!(c.items_per_block::<u64>(), 64);
+        assert_eq!(c.items_per_block::<[u64; 4]>(), 16);
+        // An item larger than a block still "fits" one per block.
+        assert_eq!(c.items_per_block::<[u64; 100]>(), 1);
+        // Sub-word items round up to one word.
+        assert_eq!(c.items_per_block::<u8>(), 64);
+    }
+
+    #[test]
+    fn charge_scan_matches_ceiling() {
+        let m = CostModel::new(EmConfig::new(64));
+        m.charge_scan::<u64>(0);
+        assert_eq!(m.report().reads, 0);
+        m.charge_scan::<u64>(1);
+        assert_eq!(m.report().reads, 1);
+        m.reset();
+        m.charge_scan::<u64>(64);
+        assert_eq!(m.report().reads, 1);
+        m.reset();
+        m.charge_scan::<u64>(65);
+        assert_eq!(m.report().reads, 2);
+    }
+
+    #[test]
+    fn pool_hits_are_free() {
+        let m = CostModel::new(EmConfig::with_memory(64, 2));
+        m.touch(0, 0);
+        m.touch(0, 0);
+        m.touch(0, 0);
+        assert_eq!(m.report().reads, 1);
+        m.touch(0, 1);
+        m.touch(0, 2); // evicts block 0
+        m.touch(0, 0); // miss again
+        assert_eq!(m.report().reads, 4);
+    }
+
+    #[test]
+    fn no_pool_means_every_touch_pays() {
+        let m = CostModel::new(EmConfig::new(64));
+        m.touch(0, 0);
+        m.touch(0, 0);
+        assert_eq!(m.report().reads, 2);
+    }
+
+    #[test]
+    fn measure_is_differential() {
+        let m = CostModel::ram();
+        m.charge_reads(5);
+        let ((), d) = m.measure(|| m.charge_reads(3));
+        assert_eq!(d.reads, 3);
+        assert_eq!(m.report().reads, 8);
+    }
+
+    #[test]
+    fn ram_model_has_unit_blocks() {
+        assert_eq!(EmConfig::ram().items_per_block::<u64>(), 1);
+    }
+
+    #[test]
+    fn trace_attributes_touches_per_array() {
+        let m = CostModel::new(EmConfig::new(64));
+        let a = m.new_array_id();
+        let b = m.new_array_id();
+        m.start_trace();
+        m.touch(a, 0);
+        m.touch(a, 1);
+        m.touch(b, 0);
+        m.charge_reads(10); // untraced bulk charge
+        let t = m.stop_trace();
+        assert_eq!(t, vec![(a, 2), (b, 1)]);
+        // Trace off: nothing recorded, nothing returned.
+        m.touch(a, 2);
+        assert!(m.stop_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_skips_pool_hits() {
+        let m = CostModel::new(EmConfig::with_memory(64, 4));
+        let a = m.new_array_id();
+        m.start_trace();
+        m.touch(a, 0);
+        m.touch(a, 0); // hit — free, untraced
+        assert_eq!(m.stop_trace(), vec![(a, 1)]);
+    }
+}

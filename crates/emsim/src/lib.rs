@@ -1,0 +1,40 @@
+//! # emsim — an instrumented external-memory (EM) model substrate
+//!
+//! The paper ("Efficient Top-k Indexing via General Reductions", PODS'16)
+//! analyzes every structure in the standard EM model of Aggarwal–Vitter:
+//! a machine with `M` words of memory and a disk formatted into blocks of
+//! `B` words; cost is the number of block I/Os. This crate *simulates* that
+//! model so the reductions built on top can be measured in the exact unit
+//! the theorems bound.
+//!
+//! Components:
+//!
+//! * [`CostModel`] — the shared I/O meter. Every index in the workspace is
+//!   handed a `CostModel` at build time and charges block fetches to it.
+//! * [`BlockArray`] — a typed array packed `⌊B / words(T)⌋` items per block;
+//!   scans and random accesses charge the meter per *distinct block touched*,
+//!   optionally filtered through an LRU buffer pool of `M/B` frames.
+//! * [`BTree`] — an external B-tree (fanout `Θ(B)`) with search, range
+//!   reporting, insert and delete, charging one I/O per node visited.
+//! * [`select`] — EM k-selection (`O(n/B)` I/Os expected), the primitive the
+//!   paper invokes as "k-selection \[8\]" throughout §3–§4.
+//! * [`sort`] — external merge sort with run formation in memory `M` and
+//!   `M/B`-way merging.
+//!
+//! The RAM model is obtained, exactly as in §1.1 of the paper, by setting
+//! `B` (and `M`) to small constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod btree;
+pub mod cost;
+pub mod pool;
+pub mod select;
+pub mod sort;
+
+pub use block::BlockArray;
+pub use btree::BTree;
+pub use cost::{CostModel, EmConfig, IoReport};
+pub use pool::LruPool;

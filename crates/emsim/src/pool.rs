@@ -1,0 +1,200 @@
+//! A small LRU buffer pool modelling the `M/B` block frames of main memory.
+//!
+//! Keys are `(array_id, block_idx)` pairs; the pool answers "was this block
+//! already resident?" and maintains recency with an intrusive doubly-linked
+//! list over a slab, so every operation is O(1).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Frame {
+    key: (u64, u64),
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU set of block identifiers with fixed capacity.
+#[derive(Debug)]
+pub struct LruPool {
+    capacity: usize,
+    map: HashMap<(u64, u64), usize>,
+    frames: Vec<Frame>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+}
+
+impl LruPool {
+    /// A pool with room for `capacity` blocks. Capacity 0 caches nothing.
+    pub fn new(capacity: usize) -> Self {
+        LruPool {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            frames: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Record an access to `(array_id, block_idx)`.
+    ///
+    /// Returns `true` on a hit (block was resident), `false` on a miss; on a
+    /// miss the block is brought in, evicting the LRU block if full.
+    pub fn access(&mut self, array_id: u64, block_idx: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let key = (array_id, block_idx);
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return true;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.frames[victim].key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.frames[s].key = key;
+                s
+            }
+            None => {
+                self.frames.push(Frame {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.frames.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Evict everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.frames[slot].prev, self.frames[slot].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut p = LruPool::new(0);
+        assert!(!p.access(0, 0));
+        assert!(!p.access(0, 0));
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut p = LruPool::new(2);
+        assert!(!p.access(0, 7));
+        assert!(p.access(0, 7));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut p = LruPool::new(2);
+        p.access(0, 1);
+        p.access(0, 2);
+        p.access(0, 1); // 1 is now MRU; 2 is LRU
+        p.access(0, 3); // evicts 2
+        assert!(p.access(0, 1));
+        assert!(!p.access(0, 2));
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_collide() {
+        let mut p = LruPool::new(4);
+        assert!(!p.access(0, 0));
+        assert!(!p.access(1, 0));
+        assert!(p.access(0, 0));
+        assert!(p.access(1, 0));
+    }
+
+    #[test]
+    fn clear_evicts_all() {
+        let mut p = LruPool::new(4);
+        p.access(0, 0);
+        p.access(0, 1);
+        p.clear();
+        assert!(p.is_empty());
+        assert!(!p.access(0, 0));
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Compare with a simple Vec-based LRU model.
+        let mut p = LruPool::new(3);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut x: u64 = 12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 61, (x >> 33) % 6);
+            let hit = p.access(key.0, key.1);
+            let model_hit = if let Some(pos) = model.iter().position(|&k| k == key) {
+                model.remove(pos);
+                model.insert(0, key);
+                true
+            } else {
+                model.insert(0, key);
+                model.truncate(3);
+                false
+            };
+            assert_eq!(hit, model_hit);
+        }
+    }
+}

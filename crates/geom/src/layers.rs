@@ -1,0 +1,123 @@
+//! Convex layers ("onion peeling").
+//!
+//! The 2D halfspace reporting structure (§5.4, after Chazelle–Guibas–Lee)
+//! stores the points in convex layers: if a halfplane contains no point of
+//! layer `i`, it contains no point of any deeper layer (deeper layers lie
+//! inside the hull of layer `i`), so reporting can stop early; within one
+//! layer the satisfying vertices form a contiguous arc reachable from the
+//! extreme vertex.
+
+use crate::hull::convex_hull_indices;
+use crate::point::Point2;
+
+/// Decompose `pts` into convex layers. Returns, per layer (outermost
+/// first), the indices of its vertices into `pts`, in CCW hull order.
+///
+/// `O(n·L)` for `L` layers (repeated monotone chain); fine for build-time.
+pub fn convex_layers(pts: &[Point2]) -> Vec<Vec<usize>> {
+    let mut layers = Vec::new();
+    let mut alive: Vec<usize> = (0..pts.len()).collect();
+    while !alive.is_empty() {
+        let sub: Vec<Point2> = alive.iter().map(|&i| pts[i]).collect();
+        let hull_local = convex_hull_indices(&sub);
+        let layer: Vec<usize> = hull_local.iter().map(|&j| alive[j]).collect();
+        let on_hull: std::collections::HashSet<usize> = layer.iter().copied().collect();
+        alive.retain(|i| !on_hull.contains(i));
+        // Degenerate safeguard: coincident points make the hull drop
+        // duplicates without reporting them; sweep them into this layer.
+        if layer.is_empty() {
+            layers.push(alive.clone());
+            break;
+        }
+        layers.push(layer);
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_squares_peel_in_order() {
+        let mut pts = Vec::new();
+        for (ring, r) in [3.0f64, 2.0, 1.0].iter().enumerate() {
+            let _ = ring;
+            pts.push(Point2::new(-r, -r));
+            pts.push(Point2::new(*r, -*r));
+            pts.push(Point2::new(*r, *r));
+            pts.push(Point2::new(-*r, *r));
+        }
+        let layers = convex_layers(&pts);
+        assert_eq!(layers.len(), 3);
+        for (i, layer) in layers.iter().enumerate() {
+            assert_eq!(layer.len(), 4, "layer {i}");
+            for &v in layer {
+                assert_eq!(v / 4, i, "point {v} in wrong layer");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_appears_exactly_once() {
+        let mut x: u64 = 42;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1_000) as f64 / 10.0
+        };
+        let pts: Vec<Point2> = (0..500).map(|_| Point2::new(rnd(), rnd())).collect();
+        let layers = convex_layers(&pts);
+        let mut seen = vec![false; pts.len()];
+        for layer in &layers {
+            for &i in layer {
+                assert!(!seen[i], "point {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some point missing from layers");
+    }
+
+    #[test]
+    fn layers_are_nested() {
+        // Each deeper layer's points lie inside the hull of the previous.
+        let mut x: u64 = 7;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1_000) as f64 / 10.0
+        };
+        let pts: Vec<Point2> = (0..300).map(|_| Point2::new(rnd(), rnd())).collect();
+        let layers = convex_layers(&pts);
+        for w in layers.windows(2) {
+            let outer: Vec<Point2> = w[0].iter().map(|&i| pts[i]).collect();
+            let poly = crate::hull::ConvexPolygon::new(outer);
+            for &i in &w[1] {
+                assert!(poly.contains(pts[i]), "layer point escapes outer hull");
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert!(convex_layers(&[]).is_empty());
+        let one = convex_layers(&[Point2::new(0.0, 0.0)]);
+        assert_eq!(one, vec![vec![0]]);
+        let two = convex_layers(&[Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]);
+        assert_eq!(two.len(), 1);
+        assert_eq!(two[0].len(), 2);
+    }
+
+    #[test]
+    fn collinear_points_terminate() {
+        let pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let layers = convex_layers(&pts);
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        // First layer is the two extremes; interior collinear points peel
+        // off pair by pair.
+        assert!(layers.len() >= 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # geom — the computational-geometry kit underneath the concrete problems
+//!
+//! Theorems 3–6 and Corollary 1 of the paper instantiate the reductions on
+//! geometric problems (halfspace/circular range reporting, interval
+//! stabbing, point enclosure, 3D dominance). This crate provides the
+//! geometric substrate they need:
+//!
+//! * [`OrderedF64`] — a totally-ordered finite-float wrapper used as a sort
+//!   key everywhere.
+//! * [`Point2`] / [`Point3`] / [`PointD`] — points with the predicates the
+//!   problems use (dominance, halfspace membership, distance).
+//! * [`hull`] — Andrew's monotone-chain convex hull, extreme-vertex search
+//!   in a direction (`O(log n)`), and point-in-convex-polygon tests.
+//! * [`layers`] — convex layers ("onion peeling"), the reporting backbone
+//!   of the 2D halfspace structure (§5.4 / Chazelle–Guibas–Lee).
+//! * [`halfplane`] — 2D halfplanes and halfplane-intersection polygons
+//!   (used by the §5.4 stabbing-max construction).
+//! * [`dual`] — point–line duality ("by standard duality", §5.4).
+//! * [`lift`] — the lifting map turning circular range queries into
+//!   halfspace queries one dimension up (Corollary 1, "the standard lifting
+//!   trick \[17\]").
+//!
+//! All coordinates are `f64` and must be finite; constructors assert this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dual;
+pub mod halfplane;
+pub mod hull;
+pub mod layers;
+pub mod lift;
+pub mod ordered;
+pub mod point;
+
+pub use halfplane::Halfplane;
+pub use ordered::OrderedF64;
+pub use point::{Point2, Point3, PointD};

@@ -1,0 +1,95 @@
+//! The lifting map (Corollary 1: "the standard lifting trick \[17\]").
+//!
+//! Lift a point `p ∈ ℝ^d` to `p* = (p, |p|²) ∈ ℝ^{d+1}`. A ball
+//! `dist(x, q) ≤ r` in `ℝ^d` becomes a halfspace in `ℝ^{d+1}`:
+//!
+//! `|x|² − 2q·x + |q|² ≤ r²  ⟺  −2q·x + x_{d+1} ≤ r² − |q|²` (with
+//! `x_{d+1} = |x|²` on the lifted paraboloid), i.e. the lifted point set
+//! intersected with the halfspace `2q·x − x_{d+1} ≥ |q|² − r²`.
+//!
+//! Thus a top-k **circular** structure in `ℝ^d` is a top-k **halfspace**
+//! structure in `ℝ^{d+1}` on the lifted points — which is how Corollary 1
+//! follows from Theorem 3, and how `halfspace::circular` implements it.
+
+use crate::point::{BallD, HalfspaceD, PointD};
+
+/// Lift `p ∈ ℝ^D` to `(p, |p|²) ∈ ℝ^{D+1}`.
+///
+/// (Rust cannot yet do `{D + 1}` arithmetic in const generics on stable
+/// without nightly features, so the lifted dimension `L` is a second
+/// parameter that callers set to `D + 1`; the function asserts it.)
+pub fn lift_point<const D: usize, const L: usize>(p: &PointD<D>) -> PointD<L> {
+    assert_eq!(L, D + 1, "lifted dimension must be D + 1");
+    let mut coords = [0.0; L];
+    coords[..D].copy_from_slice(&p.coords);
+    coords[D] = p.coords.iter().map(|c| c * c).sum();
+    PointD::new(coords)
+}
+
+/// Transform a ball in `ℝ^D` into the equivalent halfspace in `ℝ^{D+1}`
+/// over lifted points: `2q·x − x_{D+1} ≥ |q|² − r²`.
+pub fn lift_ball<const D: usize, const L: usize>(ball: &BallD<D>) -> HalfspaceD<L> {
+    assert_eq!(L, D + 1, "lifted dimension must be D + 1");
+    let mut normal = [0.0; L];
+    for (i, c) in ball.center.coords.iter().enumerate() {
+        normal[i] = 2.0 * c;
+    }
+    normal[D] = -1.0;
+    let q2: f64 = ball.center.coords.iter().map(|c| c * c).sum();
+    HalfspaceD::new(normal, q2 - ball.radius * ball.radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifted_membership_equals_ball_membership() {
+        let mut x: u64 = 99;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 2_001) as f64 - 1_000.0) / 100.0
+        };
+        for _ in 0..200 {
+            let p = PointD::new([rnd(), rnd()]);
+            let center = PointD::new([rnd(), rnd()]);
+            let radius = rnd().abs() + 0.1;
+            let ball = BallD::new(center, radius);
+            let lifted_p: PointD<3> = lift_point(&p);
+            let h: HalfspaceD<3> = lift_ball(&ball);
+            assert_eq!(
+                ball.contains(&p),
+                h.contains(&lifted_p),
+                "p={p:?} ball={ball:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lift_point_coordinates() {
+        let p = PointD::new([3.0, 4.0]);
+        let l: PointD<3> = lift_point(&p);
+        assert_eq!(l.coords, [3.0, 4.0, 25.0]);
+    }
+
+    #[test]
+    fn boundary_point_is_inside_closed_ball_and_halfspace() {
+        let ball = BallD::new(PointD::new([0.0, 0.0]), 5.0);
+        let p = PointD::new([3.0, 4.0]); // exactly on the sphere
+        let h: HalfspaceD<3> = lift_ball(&ball);
+        assert!(ball.contains(&p));
+        assert!(h.contains(&lift_point::<2, 3>(&p)));
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let ball = BallD::new(PointD::new([1.0, 2.0, 3.0]), 2.0);
+        let inside = PointD::new([1.5, 2.0, 3.0]);
+        let outside = PointD::new([4.0, 2.0, 3.0]);
+        let h: HalfspaceD<4> = lift_ball(&ball);
+        assert!(h.contains(&lift_point::<3, 4>(&inside)));
+        assert!(!h.contains(&lift_point::<3, 4>(&outside)));
+    }
+}

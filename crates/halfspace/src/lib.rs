@@ -1,0 +1,102 @@
+//! # halfspace — top-k halfspace and circular range reporting
+//! (Theorem 3 and Corollary 1)
+//!
+//! Halfspace reporting: `𝔻 = ℝ^d`, a predicate is a halfspace `x·q ≥ c`.
+//! Circular reporting: a predicate is a ball `dist(x, q) ≤ r`, reduced to
+//! halfspace reporting one dimension up by the lifting trick (Corollary 1).
+//!
+//! * **d = 2** (Theorem 3, bullet 1): reporting via convex layers
+//!   ([`ConvexLayersHalfplane`], after Chazelle–Guibas–Lee), prioritized
+//!   via the §5.4 weight tree ([`structures::CanonicalWeightTree`]), max
+//!   via a weight-prefix hull tree ([`WeightHullTree`], DESIGN.md
+//!   substitution 4). Top-k assembled by **Theorem 2**.
+//! * **d ≥ 3** (Theorem 3, bullets 2–3): reporting via a kd-tree
+//!   (substitution 3, `O(n^{1−1/d} + t)`), prioritized via the §5.5
+//!   weight B-tree with fanout `(n/B)^{ε/2}`. Top-k assembled by
+//!   **Theorem 1** — this is the regime where `Q_pri ≥ (n/B)^ε` makes the
+//!   reduction *zero-slowdown* (the second remark under Theorem 1).
+//! * **Circular** ([`circular`]): 2D points lifted to the paraboloid in
+//!   ℝ³; balls become halfspaces (Corollary 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circular;
+pub mod hd;
+pub mod max2d;
+pub mod reporting2d;
+pub mod topk2d;
+
+pub use circular::TopKCircular;
+pub use hd::{TopKHalfspaceExpected, TopKHalfspaceWorstCase, WPointD};
+pub use max2d::WeightHullTree;
+pub use reporting2d::ConvexLayersHalfplane;
+pub use topk2d::TopKHalfplane;
+
+use geom::Point2;
+use topk_core::{Element, Weight};
+
+/// A weighted point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WPoint2 {
+    /// x-coordinate.
+    pub x: f64,
+    /// y-coordinate.
+    pub y: f64,
+    /// Distinct weight.
+    pub weight: Weight,
+}
+
+impl WPoint2 {
+    /// Construct; coordinates must be finite.
+    pub fn new(x: f64, y: f64, weight: Weight) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "coordinates must be finite");
+        WPoint2 { x, y, weight }
+    }
+
+    /// The geometric point.
+    pub fn point(&self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+}
+
+impl Element for WPoint2 {
+    fn weight(&self) -> Weight {
+        self.weight
+    }
+}
+
+/// Polynomial boundedness in the plane: ≤ `O(n²)` outcomes → `λ = 3` is
+/// safe for every `n ≥ 2`.
+pub const LAMBDA_2D: f64 = 3.0;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::WPoint2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub fn cloud(n: usize, seed: u64) -> Vec<WPoint2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                WPoint2::new(
+                    rng.gen_range(-100.0..100.0),
+                    rng.gen_range(-100.0..100.0),
+                    i as u64 + 1,
+                )
+            })
+            .collect()
+    }
+
+    pub fn halfplanes(seed: u64, n: usize) -> Vec<geom::Halfplane> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let c: f64 = rng.gen_range(-120.0..120.0);
+                geom::Halfplane::new(theta.cos(), theta.sin(), c)
+            })
+            .collect()
+    }
+}

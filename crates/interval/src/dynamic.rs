@@ -1,0 +1,472 @@
+//! A dynamic interval-stabbing structure answering both prioritized and
+//! max queries.
+//!
+//! Stands in for the dynamic structures Theorem 4 cites (Tao SoCG'12 for
+//! prioritized, Agarwal et al. for stabbing-max) — DESIGN.md
+//! substitution 2. Design:
+//!
+//! * A segment tree over the endpoint grid captured at the last rebuild,
+//!   with each canonical node holding its intervals in an ordered map
+//!   keyed by (distinct) weight. Path max / path range-scan answer max /
+//!   prioritized queries in `O(log² n)` (+ output).
+//! * Intervals inserted later whose endpoints fall *between* grid points
+//!   are fully assigned where possible; the at-most-two fringe slabs keep
+//!   them in per-leaf *partial* sets that queries check explicitly.
+//! * A global rebuild (re-gridding on the current endpoints) runs every
+//!   `max(64, n/2)` inserts, keeping the partial sets small — `O(log² n)`
+//!   amortized updates for endpoint distributions that do not concentrate
+//!   adversarially between grid points (the worst case degrades toward the
+//!   rebuild cost; see DESIGN.md).
+
+use std::collections::{BTreeMap, HashMap};
+
+use emsim::CostModel;
+use topk_core::{log_b, DynamicIndex, MaxBuilder, MaxIndex, PrioritizedBuilder, PrioritizedIndex, Weight};
+
+use crate::Interval;
+
+/// Dynamic prioritized + max interval stabbing. See the module docs.
+pub struct DynStabbing {
+    /// Endpoint grid at last rebuild (sorted, distinct).
+    xs: Vec<f64>,
+    /// Heap-shaped canonical sets over `2·xs.len()+1` elementary slabs
+    /// (padded to a power of two `cap`); index 1 is the root.
+    full: Vec<BTreeMap<Weight, Interval>>,
+    /// Per-leaf sets of intervals only partially covering that slab.
+    partial: Vec<BTreeMap<Weight, Interval>>,
+    cap: usize,
+    /// All live intervals by weight.
+    registry: HashMap<Weight, Interval>,
+    inserts_since_build: usize,
+    array_id: u64,
+    model: CostModel,
+}
+
+impl DynStabbing {
+    /// Build over the given intervals.
+    pub fn build(model: &CostModel, items: Vec<Interval>) -> Self {
+        let mut s = DynStabbing {
+            xs: Vec::new(),
+            full: Vec::new(),
+            partial: Vec::new(),
+            cap: 1,
+            registry: HashMap::new(),
+            inserts_since_build: 0,
+            array_id: model.new_array_id(),
+            model: model.clone(),
+        };
+        for iv in items {
+            let prev = s.registry.insert(iv.weight, iv);
+            assert!(prev.is_none(), "duplicate weight {}", iv.weight);
+        }
+        s.rebuild();
+        s
+    }
+
+    fn rebuild(&mut self) {
+        let mut xs: Vec<f64> = Vec::with_capacity(self.registry.len() * 2);
+        for iv in self.registry.values() {
+            xs.push(iv.lo);
+            xs.push(iv.hi);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        let m = xs.len();
+        let n_slabs = 2 * m + 1;
+        let cap = n_slabs.next_power_of_two().max(2);
+        self.xs = xs;
+        self.cap = cap;
+        self.full = (0..2 * cap).map(|_| BTreeMap::new()).collect();
+        self.partial = (0..cap).map(|_| BTreeMap::new()).collect();
+        self.inserts_since_build = 0;
+        let items: Vec<Interval> = self.registry.values().copied().collect();
+        for iv in items {
+            self.place(iv);
+        }
+        // Charge a rebuild as one full write pass over the structure.
+        self.model
+            .charge_writes((self.registry.len().max(1) as u64).div_ceil(8));
+    }
+
+    /// Which elementary slab contains `q`? (0 = before all; 2i+1 = point
+    /// `xs[i]`; 2i+2 = the gap after it; 2m = after all.)
+    fn stab_index(&self, q: f64) -> usize {
+        let i = self.xs.partition_point(|&x| x < q);
+        if i < self.xs.len() && self.xs[i] == q {
+            2 * i + 1
+        } else {
+            2 * i
+        }
+    }
+
+    /// Insert into the canonical/partial sets (registry already updated).
+    fn place(&mut self, iv: Interval) {
+        let a = self.stab_index(iv.lo);
+        let b = self.stab_index(iv.hi);
+        // On-grid endpoints land on odd (point) slabs and are fully covered;
+        // off-grid endpoints land on even (gap) slabs, covered partially.
+        let (mut afull, apartial) = if a % 2 == 1 { (a, None) } else { (a + 1, Some(a)) };
+        let (mut bfull, bpartial) = if b % 2 == 1 { (b, None) } else { (b.wrapping_sub(1), Some(b)) };
+        if let Some(p) = apartial {
+            self.partial[p].insert(iv.weight, iv);
+        }
+        if let Some(p) = bpartial {
+            if Some(p) != apartial {
+                self.partial[p].insert(iv.weight, iv);
+            }
+        }
+        if a == b {
+            // Entire interval inside one slab; partial entry covers it
+            // (or the single odd slab is its full assignment).
+            if a % 2 == 1 {
+                self.assign(a, a, iv);
+            }
+            return;
+        }
+        if afull > bfull || bfull == usize::MAX {
+            return; // nothing fully covered
+        }
+        if afull <= bfull {
+            let (lo, hi) = (afull, bfull);
+            afull = lo;
+            bfull = hi;
+            self.assign(afull, bfull, iv);
+        }
+    }
+
+    /// Canonical segment-tree assignment over slabs `[a, b]`.
+    fn assign(&mut self, a: usize, b: usize, iv: Interval) {
+        let mut l = a + self.cap;
+        let mut r = b + self.cap + 1;
+        while l < r {
+            if l & 1 == 1 {
+                self.full[l].insert(iv.weight, iv);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                self.full[r].insert(iv.weight, iv);
+            }
+            l /= 2;
+            r /= 2;
+        }
+    }
+
+    fn unplace(&mut self, iv: Interval) {
+        let a = self.stab_index(iv.lo);
+        let b = self.stab_index(iv.hi);
+        let (afull, apartial) = if a % 2 == 1 { (a, None) } else { (a + 1, Some(a)) };
+        let (bfull, bpartial) = if b % 2 == 1 { (b, Some(usize::MAX)) } else { (b.wrapping_sub(1), Some(b)) };
+        if let Some(p) = apartial {
+            self.partial[p].remove(&iv.weight);
+        }
+        if let Some(p) = bpartial {
+            if p != usize::MAX && Some(p) != apartial {
+                self.partial[p].remove(&iv.weight);
+            }
+        }
+        if a == b {
+            if a % 2 == 1 {
+                self.unassign(a, a, iv.weight);
+            }
+            return;
+        }
+        if afull <= bfull && bfull != usize::MAX {
+            self.unassign(afull, bfull, iv.weight);
+        }
+    }
+
+    fn unassign(&mut self, a: usize, b: usize, w: Weight) {
+        let mut l = a + self.cap;
+        let mut r = b + self.cap + 1;
+        while l < r {
+            if l & 1 == 1 {
+                self.full[l].remove(&w);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                self.full[r].remove(&w);
+            }
+            l /= 2;
+            r /= 2;
+        }
+    }
+
+    /// Total partial-set size (diagnostics for the rebuild policy).
+    pub fn partial_population(&self) -> usize {
+        self.partial.iter().map(BTreeMap::len).sum()
+    }
+}
+
+impl PrioritizedIndex<Interval, f64> for DynStabbing {
+    fn for_each_at_least(&self, q: &f64, tau: Weight, visit: &mut dyn FnMut(&Interval) -> bool) {
+        let q = *q;
+        if self.registry.is_empty() {
+            return;
+        }
+        let slab = self.stab_index(q).min(2 * self.xs.len());
+        // Partial set at the leaf: explicit stabbing check.
+        self.model.touch(self.array_id, (self.cap + slab) as u64);
+        for (_, iv) in self.partial[slab].range(tau..).rev() {
+            if iv.stabs(q) && !visit(iv) {
+                return;
+            }
+        }
+        // Full sets along the path: every member covers the slab entirely.
+        let mut u = self.cap + slab;
+        while u >= 1 {
+            self.model.touch(self.array_id, u as u64);
+            for (_, iv) in self.full[u].range(tau..).rev() {
+                debug_assert!(iv.stabs(q));
+                if !visit(iv) {
+                    return;
+                }
+            }
+            if u == 1 {
+                break;
+            }
+            u /= 2;
+        }
+    }
+
+    fn space_blocks(&self) -> u64 {
+        let per = self.model.config().items_per_block::<Interval>().max(1) as u64;
+        let copies: u64 = self.full.iter().map(|m| m.len() as u64).sum::<u64>()
+            + self.partial.iter().map(|m| m.len() as u64).sum::<u64>();
+        let grid = (self.xs.len() as u64).div_ceil(per.max(1));
+        copies.div_ceil(per) + grid + 1
+    }
+
+    fn len(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+impl MaxIndex<Interval, f64> for DynStabbing {
+    fn query_max(&self, q: &f64) -> Option<Interval> {
+        let mut best: Option<Interval> = None;
+        // Weight-ordered iteration: the first hit per set is its max.
+        let q = *q;
+        if self.registry.is_empty() {
+            return None;
+        }
+        let slab = self.stab_index(q).min(2 * self.xs.len());
+        self.model.touch(self.array_id, (self.cap + slab) as u64);
+        for (_, iv) in self.partial[slab].iter().rev() {
+            if iv.stabs(q) {
+                if best.map(|b| iv.weight > b.weight).unwrap_or(true) {
+                    best = Some(*iv);
+                }
+                break;
+            }
+        }
+        let mut u = self.cap + slab;
+        while u >= 1 {
+            self.model.touch(self.array_id, u as u64);
+            if let Some((_, iv)) = self.full[u].last_key_value() {
+                if best.map(|b| iv.weight > b.weight).unwrap_or(true) {
+                    best = Some(*iv);
+                }
+            }
+            if u == 1 {
+                break;
+            }
+            u /= 2;
+        }
+        best
+    }
+
+    fn space_blocks(&self) -> u64 {
+        PrioritizedIndex::<Interval, f64>::space_blocks(self)
+    }
+
+    fn len(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+impl DynamicIndex<Interval> for DynStabbing {
+    fn insert(&mut self, iv: Interval) {
+        let prev = self.registry.insert(iv.weight, iv);
+        assert!(prev.is_none(), "duplicate weight {}", iv.weight);
+        self.place(iv);
+        self.inserts_since_build += 1;
+        // Charge the canonical assignment.
+        self.model
+            .charge_writes((self.xs.len().max(2) as f64).log2() as u64 + 1);
+        if self.inserts_since_build > 64.max(self.registry.len() / 2) {
+            self.rebuild();
+        }
+    }
+
+    fn delete(&mut self, weight: Weight) -> bool {
+        let Some(iv) = self.registry.remove(&weight) else {
+            return false;
+        };
+        self.unplace(iv);
+        self.model
+            .charge_writes((self.xs.len().max(2) as f64).log2() as u64 + 1);
+        true
+    }
+}
+
+/// [`PrioritizedBuilder`] for [`DynStabbing`].
+#[derive(Clone, Copy, Debug)]
+pub struct DynStabbingBuilder;
+
+impl PrioritizedBuilder<Interval, f64> for DynStabbingBuilder {
+    type Index = DynStabbing;
+    fn build(&self, model: &CostModel, items: Vec<Interval>) -> DynStabbing {
+        DynStabbing::build(model, items)
+    }
+    fn query_cost(&self, n: usize, b: usize) -> f64 {
+        let lg = (n.max(2) as f64).log2();
+        (lg * lg).max(log_b(n, b))
+    }
+}
+
+/// [`MaxBuilder`] for [`DynStabbing`].
+#[derive(Clone, Copy, Debug)]
+pub struct DynStabbingMaxBuilder;
+
+impl MaxBuilder<Interval, f64> for DynStabbingMaxBuilder {
+    type Index = DynStabbing;
+    fn build(&self, model: &CostModel, items: Vec<Interval>) -> DynStabbing {
+        DynStabbing::build(model, items)
+    }
+    fn query_cost(&self, n: usize, b: usize) -> f64 {
+        let lg = (n.max(2) as f64).log2();
+        (lg * lg).max(log_b(n, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use topk_core::brute;
+
+    fn mk(n: usize, seed: u64) -> Vec<Interval> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let a: f64 = rng.gen_range(0.0..100.0);
+                let len: f64 = rng.gen_range(0.0..25.0);
+                Interval::new(a, a + len, i as u64 + 1)
+            })
+            .collect()
+    }
+
+    fn check_all(idx: &DynStabbing, reference: &[Interval], queries: &[f64]) {
+        for &q in queries {
+            // Prioritized.
+            for tau in [0u64, 1, 200, 100_000] {
+                let mut got = Vec::new();
+                idx.query(&q, tau, &mut got);
+                let mut got_w: Vec<u64> = got.iter().map(|iv| iv.weight).collect();
+                got_w.sort_unstable();
+                let want = brute::prioritized(reference, |iv| iv.stabs(q), tau);
+                let mut want_w: Vec<u64> = want.iter().map(|iv| iv.weight).collect();
+                want_w.sort_unstable();
+                assert_eq!(got_w, want_w, "q={q} tau={tau}");
+            }
+            // Max.
+            let want = brute::max(reference, |iv| iv.stabs(q));
+            assert_eq!(
+                idx.query_max(&q).map(|iv| iv.weight),
+                want.map(|iv| iv.weight),
+                "max q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_build_matches_brute() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let items = mk(600, 51);
+        let idx = DynStabbing::build(&model, items.clone());
+        check_all(&idx, &items, &[0.0, 10.0, 55.5, 99.0, 130.0, -1.0]);
+    }
+
+    #[test]
+    fn inserts_with_fresh_endpoints() {
+        let model = CostModel::ram();
+        let mut idx = DynStabbing::build(&model, mk(50, 52));
+        let mut reference = mk(50, 52);
+        let mut rng = StdRng::seed_from_u64(53);
+        for i in 0..300u64 {
+            let a: f64 = rng.gen_range(0.0..100.0);
+            let len: f64 = rng.gen_range(0.0..25.0);
+            let iv = Interval::new(a, a + len, 10_000 + i);
+            idx.insert(iv);
+            reference.push(iv);
+            if i % 37 == 0 {
+                let q: f64 = rng.gen_range(-5.0..130.0);
+                check_all(&idx, &reference, &[q]);
+            }
+        }
+        check_all(&idx, &reference, &[0.0, 33.0, 66.6, 99.9]);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_query() {
+        let model = CostModel::ram();
+        let mut idx = DynStabbing::build(&model, vec![]);
+        let mut reference: Vec<Interval> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut next_w = 1u64;
+        for step in 0..1_500 {
+            if rng.gen_bool(0.6) || reference.is_empty() {
+                let a: f64 = rng.gen_range(0.0..50.0);
+                let iv = Interval::new(a, a + rng.gen_range(0.0..10.0), next_w);
+                next_w += 1;
+                idx.insert(iv);
+                reference.push(iv);
+            } else {
+                let i = rng.gen_range(0..reference.len());
+                let iv = reference.swap_remove(i);
+                assert!(idx.delete(iv.weight), "step {step}");
+                assert!(!idx.delete(iv.weight), "double delete step {step}");
+            }
+            if step % 101 == 0 {
+                let q: f64 = rng.gen_range(-2.0..62.0);
+                check_all(&idx, &reference, &[q]);
+            }
+        }
+        check_all(&idx, &reference, &[0.0, 25.0, 50.0]);
+    }
+
+    #[test]
+    fn rebuild_keeps_partial_sets_small() {
+        let model = CostModel::ram();
+        let mut idx = DynStabbing::build(&model, mk(200, 55));
+        let mut rng = StdRng::seed_from_u64(56);
+        for i in 0..2_000u64 {
+            let a: f64 = rng.gen_range(0.0..100.0);
+            idx.insert(Interval::new(a, a + 5.0, 50_000 + i));
+        }
+        // After many rebuild cycles the partial population must stay well
+        // below the live count.
+        assert!(
+            idx.partial_population() <= idx.registry.len(),
+            "partials {} of {}",
+            idx.partial_population(),
+            idx.registry.len()
+        );
+    }
+
+    #[test]
+    fn empty_structure() {
+        let model = CostModel::ram();
+        let mut idx = DynStabbing::build(&model, vec![]);
+        assert_eq!(idx.query_max(&1.0), None);
+        let mut out = Vec::new();
+        idx.query(&1.0, 0, &mut out);
+        assert!(out.is_empty());
+        assert!(!idx.delete(5));
+        idx.insert(Interval::new(1.0, 2.0, 5));
+        assert_eq!(idx.query_max(&1.5).map(|i| i.weight), Some(5));
+    }
+}

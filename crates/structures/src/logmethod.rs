@@ -1,0 +1,324 @@
+//! The Bentley–Saxe logarithmic method: generic dynamization of a static
+//! prioritized structure.
+//!
+//! Prioritized reporting is a *decomposable* search problem (the answer
+//! over a union is the union of the answers), so the classic construction
+//! applies: maintain `O(log n)` static structures of geometrically growing
+//! sizes; an insert rebuilds the smallest prefix (amortized
+//! `O(log n · build(n)/n)`); a delete marks a tombstone, filtered at query
+//! time, with a global rebuild once tombstones reach half the live set.
+//!
+//! The paper's Theorem 4 cites bespoke dynamic structures (Tao SoCG'12,
+//! Agarwal et al.); this adapter is our documented substitution where a
+//! dynamic *prioritized* structure is needed (DESIGN.md substitution 2).
+//! It does not provide max queries (top-1 is not decomposable under
+//! tombstone deletes); dedicated dynamic max structures live with their
+//! problems (e.g. `interval::dynamic`).
+
+use std::collections::HashSet;
+
+use emsim::CostModel;
+use topk_core::{DynamicIndex, Element, PrioritizedBuilder, PrioritizedIndex, Weight};
+
+/// A dynamized prioritized structure over builder `PB`.
+pub struct DynPrioritized<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    model: CostModel,
+    builder: PB,
+    /// Level `i` holds either nothing or a structure of ~`base·2^i` items.
+    levels: Vec<Option<(Vec<E>, PB::Index)>>,
+    tombstones: HashSet<Weight>,
+    live: usize,
+    base: usize,
+    _q: std::marker::PhantomData<Q>,
+}
+
+impl<E, Q, PB> DynPrioritized<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    /// Build from an initial item set.
+    pub fn build(model: &CostModel, builder: PB, items: Vec<E>) -> Self {
+        let base = model.config().items_per_block::<E>().max(4);
+        let mut s = DynPrioritized {
+            model: model.clone(),
+            builder,
+            levels: Vec::new(),
+            tombstones: HashSet::new(),
+            live: 0,
+            base,
+            _q: std::marker::PhantomData,
+        };
+        if !items.is_empty() {
+            s.live = items.len();
+            let level = s.level_for(items.len());
+            s.ensure_levels(level + 1);
+            let idx = s.builder.build(&s.model, items.clone());
+            s.levels[level] = Some((items, idx));
+        }
+        s
+    }
+
+    fn level_for(&self, n: usize) -> usize {
+        let mut level = 0;
+        let mut cap = self.base;
+        while cap < n {
+            cap *= 2;
+            level += 1;
+        }
+        level
+    }
+
+    fn ensure_levels(&mut self, n: usize) {
+        while self.levels.len() < n {
+            self.levels.push(None);
+        }
+    }
+
+    /// Rebuild everything from the live elements (tombstones purged).
+    fn global_rebuild(&mut self) {
+        let mut all: Vec<E> = Vec::with_capacity(self.live);
+        for level in self.levels.iter_mut() {
+            if let Some((items, _)) = level.take() {
+                all.extend(
+                    items
+                        .into_iter()
+                        .filter(|e| !self.tombstones.contains(&e.weight())),
+                );
+            }
+        }
+        self.tombstones.clear();
+        self.levels.clear();
+        self.live = all.len();
+        if !all.is_empty() {
+            let level = self.level_for(all.len());
+            self.ensure_levels(level + 1);
+            let idx = self.builder.build(&self.model, all.clone());
+            self.levels[level] = Some((all, idx));
+        }
+    }
+
+    /// Number of live (non-tombstoned) elements.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of levels currently occupied (diagnostics).
+    pub fn occupied_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+impl<E, Q, PB> PrioritizedIndex<E, Q> for DynPrioritized<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    fn for_each_at_least(&self, q: &Q, tau: Weight, visit: &mut dyn FnMut(&E) -> bool) {
+        let mut stopped = false;
+        for level in self.levels.iter().flatten() {
+            if stopped {
+                break;
+            }
+            level.1.for_each_at_least(q, tau, &mut |e| {
+                if self.tombstones.contains(&e.weight()) {
+                    return true;
+                }
+                if !visit(e) {
+                    stopped = true;
+                    return false;
+                }
+                true
+            });
+        }
+    }
+
+    fn space_blocks(&self) -> u64 {
+        let per = self.model.config().items_per_block::<E>().max(1) as u64;
+        self.levels
+            .iter()
+            .flatten()
+            .map(|(items, idx)| idx.space_blocks() + (items.len() as u64).div_ceil(per))
+            .sum()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+impl<E, Q, PB> DynamicIndex<E> for DynPrioritized<E, Q, PB>
+where
+    E: Element,
+    PB: PrioritizedBuilder<E, Q>,
+{
+    fn insert(&mut self, e: E) {
+        // Collect the occupied prefix plus the new element, rebuild at the
+        // first level that fits.
+        let mut carry: Vec<E> = vec![e];
+        let mut level = 0;
+        loop {
+            self.ensure_levels(level + 1);
+            match self.levels[level].take() {
+                None => break,
+                Some((items, _)) => {
+                    carry.extend(items);
+                    level += 1;
+                }
+            }
+        }
+        // The merged set may exceed this level's capacity (capacities are
+        // base·2^i and lower levels may have been full); find the first
+        // empty slot that fits, absorbing any occupied slot on the way
+        // (occupancy invariants make the loop run at most once in practice,
+        // but absorbing is the safe general behavior — overwriting would
+        // silently drop elements).
+        let mut target = self.level_for(carry.len()).max(level);
+        loop {
+            self.ensure_levels(target + 1);
+            match self.levels[target].take() {
+                None => break,
+                Some((items, _)) => {
+                    carry.extend(items);
+                    target = self.level_for(carry.len()).max(target + 1);
+                }
+            }
+        }
+        let idx = self.builder.build(&self.model, carry.clone());
+        self.levels[target] = Some((carry, idx));
+        self.live += 1;
+    }
+
+    fn delete(&mut self, weight: Weight) -> bool {
+        // Membership check: the element must exist and not be tombstoned.
+        let mut found = false;
+        for level in self.levels.iter().flatten() {
+            if level.0.iter().any(|e| e.weight() == weight) {
+                found = true;
+                break;
+            }
+        }
+        if !found || self.tombstones.contains(&weight) {
+            return false;
+        }
+        self.tombstones.insert(weight);
+        self.live -= 1;
+        if self.tombstones.len() > self.live.max(self.base) {
+            self.global_rebuild();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_core::toy::{PrefixBuilder, PrefixQuery, ToyElem};
+    use topk_core::brute;
+
+    fn elem(x: u64, w: u64) -> ToyElem {
+        ToyElem { x, w }
+    }
+
+    #[test]
+    fn insert_then_query_matches_brute() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let mut dynp = DynPrioritized::build(&model, PrefixBuilder, vec![]);
+        let mut reference: Vec<ToyElem> = Vec::new();
+        for i in 0..500u64 {
+            let e = elem(i % 37, i * 13 + 1);
+            dynp.insert(e);
+            reference.push(e);
+        }
+        for qx in [0u64, 5, 20, 36] {
+            for tau in [0u64, 100, 3_000] {
+                let mut got = Vec::new();
+                dynp.query(&PrefixQuery { x_max: qx }, tau, &mut got);
+                let mut got_w: Vec<u64> = got.iter().map(|e| e.w).collect();
+                got_w.sort_unstable();
+                let want = brute::prioritized(&reference, |e| e.x <= qx, tau);
+                let mut want_w: Vec<u64> = want.iter().map(|e| e.w).collect();
+                want_w.sort_unstable();
+                assert_eq!(got_w, want_w, "q={qx} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_are_filtered_and_rebuild_happens() {
+        let model = CostModel::ram();
+        let items: Vec<ToyElem> = (0..200u64).map(|i| elem(i, i + 1)).collect();
+        let mut dynp = DynPrioritized::build(&model, PrefixBuilder, items.clone());
+        // Delete the even weights.
+        for i in 0..200u64 {
+            if (i + 1) % 2 == 0 {
+                assert!(dynp.delete(i + 1), "delete {}", i + 1);
+            }
+        }
+        assert_eq!(dynp.live_len(), 100);
+        assert!(!dynp.delete(2), "double delete must fail");
+        assert!(!dynp.delete(9_999), "absent delete must fail");
+        let mut got = Vec::new();
+        dynp.query(&PrefixQuery { x_max: 199 }, 0, &mut got);
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|e| e.w % 2 == 1));
+    }
+
+    #[test]
+    fn interleaved_workload_matches_reference() {
+        let model = CostModel::ram();
+        let mut dynp = DynPrioritized::build(&model, PrefixBuilder, vec![]);
+        let mut reference: Vec<ToyElem> = Vec::new();
+        let mut s: u64 = 7;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut next_w = 1u64;
+        for step in 0..2_000 {
+            match rnd() % 3 {
+                0 | 1 => {
+                    let e = elem(rnd() % 50, next_w);
+                    next_w += 1;
+                    dynp.insert(e);
+                    reference.push(e);
+                }
+                _ => {
+                    if !reference.is_empty() {
+                        let i = (rnd() % reference.len() as u64) as usize;
+                        let w = reference.remove(i).w;
+                        assert!(dynp.delete(w), "step {step}");
+                    }
+                }
+            }
+            if step % 97 == 0 {
+                let qx = rnd() % 50;
+                let mut got = Vec::new();
+                dynp.query(&PrefixQuery { x_max: qx }, 0, &mut got);
+                let mut got_w: Vec<u64> = got.iter().map(|e| e.w).collect();
+                got_w.sort_unstable();
+                let want = brute::prioritized(&reference, |e| e.x <= qx, 0);
+                let mut want_w: Vec<u64> = want.iter().map(|e| e.w).collect();
+                want_w.sort_unstable();
+                assert_eq!(got_w, want_w, "step {step} q={qx}");
+            }
+        }
+        assert_eq!(dynp.live_len(), reference.len());
+    }
+
+    #[test]
+    fn levels_stay_logarithmic() {
+        let model = CostModel::ram();
+        let mut dynp = DynPrioritized::build(&model, PrefixBuilder, vec![]);
+        for i in 0..5_000u64 {
+            dynp.insert(elem(i, i + 1));
+        }
+        assert!(dynp.occupied_levels() <= 14, "levels {}", dynp.occupied_levels());
+    }
+}

@@ -1,0 +1,440 @@
+//! A static priority search tree (PST) for 3-sided queries.
+//!
+//! Stores elements with a totally ordered key `x` and a weight `w`, and
+//! reports every element with `x ∈ [x₁, x₂]` and `w ≥ τ` in
+//! `O(log n + t)` node visits. The tree is a max-heap on `w` and a balanced
+//! split tree on `x` (McCreight's classic construction). Subtrees of at
+//! most one block are stored as weight-descending *fat leaves*, so a query's
+//! output term costs `O(t/B)` I/Os rather than `O(t)`.
+//!
+//! This is the workhorse behind the linear-space prioritized
+//! interval-stabbing structure (DESIGN.md substitution 1) and the 1D
+//! range-reporting showcase.
+
+use emsim::CostModel;
+use topk_core::{Element, Weight};
+
+/// An entry: key, weight, payload.
+#[derive(Clone, Debug)]
+struct Entry<K, E> {
+    x: K,
+    w: Weight,
+    elem: E,
+}
+
+#[derive(Debug)]
+struct Node<K, E> {
+    /// This node's entries, sorted by weight descending. For an internal
+    /// node these are the block's worth of *heaviest* elements of its
+    /// subtree (the external-PST layout of Arge–Samoladas–Vitter), so
+    /// every descendant is lighter than `entries.last()` — which is what
+    /// makes reporting cost `O(t/B)` rather than `O(t)`.
+    entries: Vec<Entry<K, E>>,
+    /// Min/max key in the subtree, for range pruning.
+    xlo: K,
+    xhi: K,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// A static priority search tree. See the module docs.
+///
+/// ```
+/// use emsim::CostModel;
+/// use structures::PrioritySearchTree;
+/// use topk_core::Element;
+///
+/// #[derive(Clone)]
+/// struct Item { x: i64, w: u64 }
+/// impl Element for Item {
+///     fn weight(&self) -> u64 { self.w }
+/// }
+///
+/// let model = CostModel::ram();
+/// let items: Vec<(i64, Item)> =
+///     (0..100).map(|i| (i, Item { x: i, w: (i as u64 * 37) % 101 + 1 })).collect();
+/// let pst = PrioritySearchTree::build(&model, items);
+///
+/// // All elements with x ∈ [10, 20] and weight ≥ 50:
+/// let mut hits = 0;
+/// pst.query_3sided(10, 20, 50, &mut |e| { assert!(e.w >= 50); hits += 1; true });
+/// assert!(hits > 0);
+/// ```
+#[derive(Debug)]
+pub struct PrioritySearchTree<K, E> {
+    nodes: Vec<Node<K, E>>,
+    root: Option<usize>,
+    len: usize,
+    array_id: u64,
+    model: CostModel,
+    leaf_cap: usize,
+}
+
+impl<K: Ord + Copy, E: Element> PrioritySearchTree<K, E> {
+    /// Build from `(key, element)` pairs. `O(n log n)` time, `O(n)` space.
+    pub fn build(model: &CostModel, items: Vec<(K, E)>) -> Self {
+        let leaf_cap = model.config().items_per_block::<(K, E)>().max(4);
+        let mut entries: Vec<Entry<K, E>> = items
+            .into_iter()
+            .map(|(x, e)| Entry {
+                x,
+                w: e.weight(),
+                elem: e,
+            })
+            .collect();
+        entries.sort_by_key(|a| a.x);
+        let len = entries.len();
+        let mut tree = PrioritySearchTree {
+            nodes: Vec::new(),
+            root: None,
+            len,
+            array_id: model.new_array_id(),
+            model: model.clone(),
+            leaf_cap,
+        };
+        if !entries.is_empty() {
+            let root = tree.build_rec(entries);
+            tree.root = Some(root);
+        }
+        tree.model.charge_writes(tree.nodes.len() as u64);
+        tree
+    }
+
+    /// `entries` must be sorted by key ascending.
+    fn build_rec(&mut self, mut entries: Vec<Entry<K, E>>) -> usize {
+        let xlo = entries.first().unwrap().x;
+        let xhi = entries.last().unwrap().x;
+        if entries.len() <= self.leaf_cap {
+            entries.sort_by(|a, b| b.w.cmp(&a.w));
+            self.nodes.push(Node {
+                entries,
+                xlo,
+                xhi,
+                left: None,
+                right: None,
+            });
+            return self.nodes.len() - 1;
+        }
+        // Extract the block's worth of heaviest entries for this node,
+        // keeping the remainder in x order for the median split.
+        let mut ws: Vec<Weight> = entries.iter().map(|e| e.w).collect();
+        let cut_idx = self.leaf_cap - 1;
+        ws.select_nth_unstable_by(cut_idx, |a, b| b.cmp(a));
+        let cutoff = ws[cut_idx];
+        let mut top: Vec<Entry<K, E>> = Vec::with_capacity(self.leaf_cap);
+        let mut rest: Vec<Entry<K, E>> = Vec::with_capacity(entries.len() - self.leaf_cap);
+        for e in entries.drain(..) {
+            // Weights are distinct in the paper's setting, but duplicates
+            // are tolerated: take at most leaf_cap into the top block.
+            if e.w >= cutoff && top.len() < self.leaf_cap {
+                top.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        top.sort_by(|a, b| b.w.cmp(&a.w));
+        let mid = rest.len() / 2;
+        let right_half = rest.split_off(mid);
+        let left = if rest.is_empty() {
+            None
+        } else {
+            Some(self.build_rec(rest))
+        };
+        let right = if right_half.is_empty() {
+            None
+        } else {
+            Some(self.build_rec(right_half))
+        };
+        self.nodes.push(Node {
+            entries: top,
+            xlo,
+            xhi,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Space in blocks, assuming the packed layout a real EM
+    /// implementation would use (internal nodes are a single entry plus
+    /// four pointer/boundary words; several fit per block).
+    pub fn space_blocks(&self) -> u64 {
+        let b = self.model.b() as u64;
+        let entry_words = (std::mem::size_of::<(K, E)>() as u64).div_ceil(8).max(1);
+        let mut words = 0u64;
+        for node in &self.nodes {
+            words += node.entries.len() as u64 * entry_words + 4;
+        }
+        words.div_ceil(b).max(1)
+    }
+
+    /// Visit every element with `x ∈ [x₁, x₂]` and `w ≥ tau` until `visit`
+    /// returns `false`. `O(log n + t)` node visits.
+    pub fn query_3sided(
+        &self,
+        x1: K,
+        x2: K,
+        tau: Weight,
+        visit: &mut dyn FnMut(&E) -> bool,
+    ) {
+        if let Some(root) = self.root {
+            self.query_rec(root, x1, x2, tau, visit);
+        }
+    }
+
+    /// Returns `false` if the visitor aborted.
+    fn query_rec(
+        &self,
+        u: usize,
+        x1: K,
+        x2: K,
+        tau: Weight,
+        visit: &mut dyn FnMut(&E) -> bool,
+    ) -> bool {
+        self.model.touch(self.array_id, u as u64);
+        let node = &self.nodes[u];
+        if node.xhi < x1 || node.xlo > x2 {
+            return true;
+        }
+        for e in &node.entries {
+            if e.w < tau {
+                // Weight-descending, and every descendant is lighter than
+                // this node's lightest entry: the whole subtree is done.
+                return true;
+            }
+            if e.x >= x1 && e.x <= x2 && !visit(&e.elem) {
+                return false;
+            }
+        }
+        // All entries were ≥ τ — descendants may still qualify. Children
+        // prune themselves via their stored [xlo, xhi].
+        if let Some(l) = node.left {
+            if !self.query_rec(l, x1, x2, tau, visit) {
+                return false;
+            }
+        }
+        if let Some(r) = node.right {
+            if !self.query_rec(r, x1, x2, tau, visit) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The heaviest element with `x ∈ [x₁, x₂]`, if any. `O(log n)`-ish via
+    /// best-first descent (exact; visits only nodes whose heap weight beats
+    /// the current best).
+    pub fn max_in_range(&self, x1: K, x2: K) -> Option<E> {
+        let mut best: Option<(Weight, E)> = None;
+        if let Some(root) = self.root {
+            self.max_rec(root, x1, x2, &mut best);
+        }
+        best.map(|(_, e)| e)
+    }
+
+    fn max_rec(&self, u: usize, x1: K, x2: K, best: &mut Option<(Weight, E)>) {
+        self.model.touch(self.array_id, u as u64);
+        let node = &self.nodes[u];
+        if node.xhi < x1 || node.xlo > x2 {
+            return;
+        }
+        for e in &node.entries {
+            if let Some((bw, _)) = best {
+                if e.w <= *bw {
+                    return; // descendants are lighter still
+                }
+            }
+            if e.x >= x1 && e.x <= x2 {
+                *best = Some((e.w, e.elem.clone()));
+                // Everything after this entry (and every descendant) is
+                // lighter; done with this subtree.
+                return;
+            }
+        }
+        if let Some(l) = node.left {
+            self.max_rec(l, x1, x2, best);
+        }
+        if let Some(r) = node.right {
+            self.max_rec(r, x1, x2, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Item {
+        x: i64,
+        w: u64,
+    }
+    impl Element for Item {
+        fn weight(&self) -> Weight {
+            self.w
+        }
+    }
+
+    fn mk(n: usize, seed: u64) -> Vec<(i64, Item)> {
+        let mut s = seed.max(1);
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut weights: Vec<u64> = (1..=n as u64).collect();
+        for i in (1..n).rev() {
+            let j = (rnd() % (i as u64 + 1)) as usize;
+            weights.swap(i, j);
+        }
+        (0..n)
+            .map(|i| {
+                let x = (rnd() % 1_000) as i64;
+                (x, Item { x, w: weights[i] })
+            })
+            .collect()
+    }
+
+    fn brute(items: &[(i64, Item)], x1: i64, x2: i64, tau: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|(x, it)| *x >= x1 && *x <= x2 && it.w >= tau)
+            .map(|(_, it)| it.w)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn three_sided_matches_brute() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk(2_000, 17);
+        let pst = PrioritySearchTree::build(&model, items.clone());
+        for &(x1, x2) in &[(0i64, 999i64), (100, 200), (500, 500), (900, 100)] {
+            for &tau in &[0u64, 1, 500, 1_500, 1_999, 5_000] {
+                let mut got = Vec::new();
+                pst.query_3sided(x1, x2, tau, &mut |e| {
+                    got.push(e.w);
+                    true
+                });
+                got.sort_unstable();
+                assert_eq!(got, brute(&items, x1, x2, tau), "[{x1},{x2}] tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_in_range_matches_brute() {
+        let model = CostModel::ram();
+        let items = mk(1_500, 23);
+        let pst = PrioritySearchTree::build(&model, items.clone());
+        for &(x1, x2) in &[(0i64, 999i64), (10, 20), (250, 750), (999, 999), (5, 1)] {
+            let want = items
+                .iter()
+                .filter(|(x, _)| *x >= x1 && *x <= x2)
+                .map(|(_, it)| it.w)
+                .max();
+            assert_eq!(pst.max_in_range(x1, x2).map(|e| e.w), want, "[{x1},{x2}]");
+        }
+    }
+
+    #[test]
+    fn early_termination_respected() {
+        let model = CostModel::ram();
+        let items = mk(500, 3);
+        let pst = PrioritySearchTree::build(&model, items);
+        let mut count = 0;
+        pst.query_3sided(0, 999, 0, &mut |_| {
+            count += 1;
+            count < 7
+        });
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn query_cost_is_logarithmic_plus_output() {
+        let b = 64;
+        let model = CostModel::new(EmConfig::new(b));
+        let n = 100_000;
+        let items: Vec<(i64, Item)> = (0..n)
+            .map(|i| {
+                let x = i as i64;
+                (x, Item { x, w: (i as u64).wrapping_mul(2654435761) % (8 * n as u64) + 1 })
+            })
+            .collect();
+        // Make weights distinct.
+        let mut seen = std::collections::HashSet::new();
+        let items: Vec<(i64, Item)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, mut it))| {
+                while !seen.insert(it.w) {
+                    it.w += 1_000_000_007;
+                }
+                let _ = i;
+                (x, it)
+            })
+            .collect();
+        // Weights land in [1, 8n + bumps]; a τ near the top keeps t tiny.
+        let pst = PrioritySearchTree::build(&model, items.clone());
+        let mut ws: Vec<u64> = items.iter().map(|(_, it)| it.w).collect();
+        ws.sort_unstable_by(|a, b| b.cmp(a));
+        let tau = ws[40]; // exactly 41 elements at or above τ
+        model.reset();
+        let mut t = 0;
+        pst.query_3sided(0, (n - 1) as i64, tau, &mut |_| {
+            t += 1;
+            true
+        });
+        assert_eq!(t, 41);
+        let reads = model.report().reads;
+        // Node visits should be O(log n + t), far below n.
+        assert!(reads < 600, "reads {reads} for t = {t}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let model = CostModel::ram();
+        let pst: PrioritySearchTree<i64, Item> = PrioritySearchTree::build(&model, vec![]);
+        assert!(pst.is_empty());
+        assert_eq!(pst.max_in_range(0, 100), None);
+        let mut seen = 0;
+        pst.query_3sided(0, 10, 0, &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 0);
+
+        let one = PrioritySearchTree::build(&model, vec![(5i64, Item { x: 5, w: 42 })]);
+        assert_eq!(one.max_in_range(0, 10).map(|e| e.w), Some(42));
+        assert_eq!(one.max_in_range(6, 10).map(|e| e.w), None);
+    }
+
+    #[test]
+    fn duplicate_keys_allowed() {
+        let model = CostModel::ram();
+        let items: Vec<(i64, Item)> = (0..100u64)
+            .map(|i| (7i64, Item { x: 7, w: i + 1 }))
+            .collect();
+        let pst = PrioritySearchTree::build(&model, items);
+        let mut got = Vec::new();
+        pst.query_3sided(7, 7, 50, &mut |e| {
+            got.push(e.w);
+            true
+        });
+        assert_eq!(got.len(), 51);
+        assert_eq!(pst.max_in_range(7, 7).map(|e| e.w), Some(100));
+    }
+}

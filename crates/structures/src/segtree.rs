@@ -1,0 +1,329 @@
+//! A generic segment tree over 1D intervals with a per-canonical-node
+//! summary structure.
+//!
+//! The classic tool behind §5.2's point-enclosure structures: each input
+//! interval is assigned to `O(log n)` canonical nodes; a stabbing query at
+//! `q` visits the `O(log n)` nodes on one root-to-leaf path and consults
+//! each node's summary. The summary type is caller-supplied, so the same
+//! tree serves as
+//!
+//! * a prioritized interval-stabbing structure (summary = elements sorted
+//!   by weight descending in blocks → `O(log n + t)` reporting), and
+//! * the outer x-tree of the 2D point-enclosure structures (summary = an
+//!   inner 1D y-structure).
+//!
+//! Elementary intervals are the points `xs[i]` and the open gaps between
+//! them (plus the two unbounded gaps), so closed input intervals and
+//! arbitrary real query points are handled exactly.
+
+use emsim::CostModel;
+
+/// A summary structure stored at a canonical node.
+pub trait Summary {
+    /// Space in blocks.
+    fn space_blocks(&self) -> u64;
+}
+
+/// A segment tree whose canonical nodes carry summaries of type `S`.
+pub struct SegTreeOfSets<S> {
+    /// Sorted, deduplicated endpoint coordinates.
+    xs: Vec<f64>,
+    /// Heap-shaped node arena over `2·xs.len() + 1` elementary leaves.
+    /// `nodes[u] = Some(summary)` iff at least one interval is assigned.
+    summaries: Vec<Option<S>>,
+    n_leaves: usize,
+    len: usize,
+    array_id: u64,
+    model: CostModel,
+}
+
+impl<S: Summary> SegTreeOfSets<S> {
+    /// Build over `items`, where `range(item) = (lo, hi)` is a closed
+    /// interval with `lo ≤ hi`, and `make_summary` turns each canonical
+    /// node's assigned items into its summary.
+    pub fn build<E: Clone>(
+        model: &CostModel,
+        items: &[E],
+        range: impl Fn(&E) -> (f64, f64),
+        mut make_summary: impl FnMut(&CostModel, Vec<E>) -> S,
+    ) -> Self {
+        let mut xs: Vec<f64> = Vec::with_capacity(items.len() * 2);
+        for e in items {
+            let (lo, hi) = range(e);
+            assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad interval [{lo}, {hi}]");
+            xs.push(lo);
+            xs.push(hi);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+
+        let m = xs.len();
+        let n_leaves = (2 * m + 1).max(1);
+        // Heap layout sized to the next power of two.
+        let cap = n_leaves.next_power_of_two();
+        let mut buckets: Vec<Vec<E>> = (0..2 * cap).map(|_| Vec::new()).collect();
+
+        // Assign each interval to canonical nodes covering its elementary
+        // span [2·idx(lo)+1, 2·idx(hi)+1].
+        for e in items {
+            let (lo, hi) = range(e);
+            let a = 2 * lower_index(&xs, lo) + 1;
+            let b = 2 * lower_index(&xs, hi) + 1;
+            assign(&mut buckets, cap, a, b, e);
+        }
+
+        let summaries: Vec<Option<S>> = buckets
+            .into_iter()
+            .map(|bucket| {
+                if bucket.is_empty() {
+                    None
+                } else {
+                    Some(make_summary(model, bucket))
+                }
+            })
+            .collect();
+        let tree = SegTreeOfSets {
+            xs,
+            summaries,
+            n_leaves: cap,
+            len: items.len(),
+            array_id: model.new_array_id(),
+            model: model.clone(),
+        };
+        let node_count = tree.summaries.iter().filter(|s| s.is_some()).count() as u64;
+        model.charge_writes(node_count);
+        tree
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total space: summaries plus the endpoint array.
+    pub fn space_blocks(&self) -> u64 {
+        let per = self.model.config().items_per_block::<f64>().max(1) as u64;
+        let xs_blocks = (self.xs.len() as u64).div_ceil(per);
+        xs_blocks
+            + self
+                .summaries
+                .iter()
+                .flatten()
+                .map(Summary::space_blocks)
+                .sum::<u64>()
+    }
+
+    /// Visit the summaries on the root-to-leaf path for stabbing point `q`
+    /// (every interval containing `q` lives in exactly one of them).
+    /// Charges one I/O per node on the path (`O(log n)`), plus the
+    /// predecessor search on the endpoint array. Stops early when `visit`
+    /// returns `false`.
+    pub fn for_each_on_path(&self, q: f64, visit: &mut dyn FnMut(&S) -> bool) {
+        if self.len == 0 {
+            return;
+        }
+        // Predecessor search: which elementary interval contains q?
+        // Charged as log2 probes of the xs array.
+        let elem = stab_index(&self.xs, q);
+        self.model
+            .charge_reads((self.xs.len().max(2) as f64).log2().ceil() as u64);
+        let mut u = self.n_leaves + elem; // leaf in heap layout
+        debug_assert!(u < self.summaries.len(), "leaf index out of arena");
+        while u >= 1 {
+            if let Some(s) = &self.summaries[u] {
+                self.model.touch(self.array_id, u as u64);
+                if !visit(s) {
+                    return;
+                }
+            }
+            if u == 1 {
+                break;
+            }
+            u /= 2;
+        }
+    }
+}
+
+/// Index of `v` in sorted `xs` (must be present — intervals' endpoints are).
+fn lower_index(xs: &[f64], v: f64) -> usize {
+    let i = xs.partition_point(|&x| x < v);
+    debug_assert!(i < xs.len() && xs[i] == v, "endpoint must be a grid point");
+    i
+}
+
+/// Which elementary interval (0..2m) contains the query point?
+/// `2i+1` = the point `xs[i]`; `2i` = the open gap before it; `2m` = after.
+fn stab_index(xs: &[f64], q: f64) -> usize {
+    let m = xs.len();
+    let i = xs.partition_point(|&x| x < q);
+    if i < m && xs[i] == q {
+        2 * i + 1
+    } else {
+        2 * i
+    }
+}
+
+/// Recursive canonical assignment in the heap-shaped tree.
+fn assign<E: Clone>(buckets: &mut [Vec<E>], n_leaves: usize, a: usize, b: usize, e: &E) {
+    // Iterative bottom-up canonical decomposition (standard trick).
+    let mut l = a + n_leaves;
+    let mut r = b + n_leaves + 1; // exclusive
+    while l < r {
+        if l & 1 == 1 {
+            buckets[l].push(e.clone());
+            l += 1;
+        }
+        if r & 1 == 1 {
+            r -= 1;
+            buckets[r].push(e.clone());
+        }
+        l /= 2;
+        r /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial summary: the raw items.
+    struct Raw(Vec<(f64, f64, u64)>);
+    impl Summary for Raw {
+        fn space_blocks(&self) -> u64 {
+            1 + self.0.len() as u64 / 16
+        }
+    }
+
+    fn build_raw(
+        model: &CostModel,
+        items: &[(f64, f64, u64)],
+    ) -> SegTreeOfSets<Raw> {
+        SegTreeOfSets::build(model, items, |&(lo, hi, _)| (lo, hi), |_, v| Raw(v))
+    }
+
+    fn stab_brute(items: &[(f64, f64, u64)], q: f64) -> Vec<u64> {
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|&&(lo, hi, _)| lo <= q && q <= hi)
+            .map(|&(_, _, w)| w)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn stab_tree(tree: &SegTreeOfSets<Raw>, q: f64) -> Vec<u64> {
+        let mut v = Vec::new();
+        tree.for_each_on_path(q, &mut |s| {
+            // Canonical decomposition: EVERY item in a path summary contains q.
+            for &(lo, hi, w) in &s.0 {
+                assert!(lo <= q && q <= hi, "non-stabbing item in path node");
+                v.push(w);
+            }
+            true
+        });
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn canonical_decomposition_is_exact() {
+        let model = CostModel::ram();
+        let items = vec![
+            (0.0, 10.0, 1u64),
+            (2.0, 3.0, 2),
+            (3.0, 7.0, 3),
+            (5.0, 5.0, 4),
+            (-4.0, -1.0, 5),
+            (8.0, 12.0, 6),
+        ];
+        let tree = build_raw(&model, &items);
+        for q in [
+            -5.0, -4.0, -2.5, -1.0, 0.0, 1.0, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 7.0, 7.5, 8.0, 10.0,
+            11.0, 12.0, 13.0,
+        ] {
+            assert_eq!(stab_tree(&tree, q), stab_brute(&items, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_brute() {
+        let model = CostModel::ram();
+        let mut x: u64 = 1234;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1_000) as f64 / 10.0
+        };
+        let items: Vec<(f64, f64, u64)> = (0..400u64)
+            .map(|i| {
+                let a = rnd();
+                let b = rnd();
+                (a.min(b), a.max(b), i + 1)
+            })
+            .collect();
+        let tree = build_raw(&model, &items);
+        for _ in 0..200 {
+            let q = rnd();
+            assert_eq!(stab_tree(&tree, q), stab_brute(&items, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn each_interval_in_log_nodes() {
+        let model = CostModel::ram();
+        let n = 1_000;
+        let items: Vec<(f64, f64, u64)> = (0..n)
+            .map(|i| (i as f64, (i + n) as f64, i as u64 + 1))
+            .collect();
+        let tree = build_raw(&model, &items);
+        let total: usize = tree.summaries.iter().flatten().map(|s| s.0.len()).sum();
+        // O(n log n) copies: with 2n endpoints the tree has ~4n leaves,
+        // log ≈ 12; allow 4× slack.
+        let bound = (n as f64) * (4.0 * n as f64).log2() * 4.0;
+        assert!((total as f64) < bound, "total copies {total} > {bound}");
+    }
+
+    #[test]
+    fn empty_tree() {
+        let model = CostModel::ram();
+        let tree = build_raw(&model, &[]);
+        assert!(tree.is_empty());
+        let mut visited = 0;
+        tree.for_each_on_path(1.0, &mut |_| {
+            visited += 1;
+            true
+        });
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn point_intervals() {
+        let model = CostModel::ram();
+        let items = vec![(5.0, 5.0, 1u64), (5.0, 5.0, 2)];
+        // Degenerate [5,5] intervals stab only q = 5.
+        let tree = SegTreeOfSets::build(&model, &items, |&(lo, hi, _)| (lo, hi), |_, v| Raw(v));
+        assert_eq!(stab_tree(&tree, 5.0), vec![1, 2]);
+        assert_eq!(stab_tree(&tree, 4.999), Vec::<u64>::new());
+        assert_eq!(stab_tree(&tree, 5.001), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn early_stop() {
+        let model = CostModel::ram();
+        let items: Vec<(f64, f64, u64)> =
+            (0..50).map(|i| (0.0, 100.0, i + 1)).collect();
+        let tree = build_raw(&model, &items);
+        let mut nodes = 0;
+        tree.for_each_on_path(50.0, &mut |_| {
+            nodes += 1;
+            false
+        });
+        assert_eq!(nodes, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's §1.4 point-enclosure scenario (Theorem 5):
+//!
+//! > "Find the 10 gentlemen with the highest salaries such that my age and
+//! > height fall into their preferred ranges."
+//!
+//! Each profile registers an (age × height) preference rectangle weighted
+//! by salary; a query is a person's (age, height) point.
+//!
+//! Run with: `cargo run --release --example dating_site`
+
+use topk::core::{CostModel, EmConfig, TopKIndex};
+use topk::enclosure::TopKEnclosure;
+use topk::geometry::Point2;
+use topk::workloads::rects;
+
+fn main() {
+    let model = CostModel::new(EmConfig::new(64));
+
+    let n = 50_000;
+    let profiles = rects::dating(n, 12);
+    println!("indexing {n} preference rectangles ...");
+    let index = TopKEnclosure::build(&model, profiles.clone(), 12);
+    println!("built: {} blocks", index.space_blocks());
+
+    let seekers = [
+        ("28 years, 168 cm", Point2::new(28.0, 168.0)),
+        ("45 years, 182 cm", Point2::new(45.0, 182.0)),
+        ("19 years, 155 cm", Point2::new(19.0, 155.0)),
+    ];
+
+    for (who, me) in seekers {
+        model.reset();
+        let mut out = Vec::new();
+        index.query_topk(&me, 10, &mut out);
+        println!("\n{who}: {} matching profiles in the top-10", out.len());
+        for (rank, r) in out.iter().take(3).enumerate() {
+            println!(
+                "  #{:<2} salary ${:<7} wants age [{:.0},{:.0}] height [{:.0},{:.0}]",
+                rank + 1,
+                r.weight,
+                r.x1,
+                r.x2,
+                r.y1,
+                r.y2
+            );
+        }
+        println!("  ({} block I/Os)", model.report().reads);
+
+        let brute = topk::core::brute::top_k(&profiles, |r| r.contains(me), 10);
+        assert_eq!(
+            out.iter().map(|r| r.weight).collect::<Vec<_>>(),
+            brute.iter().map(|r| r.weight).collect::<Vec<_>>()
+        );
+    }
+}

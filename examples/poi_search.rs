@@ -1,0 +1,42 @@
+//! Top-k circular range search (Corollary 1): "the 5 highest-rated points
+//! of interest within r km of me", answered by lifting the 2D points onto
+//! the paraboloid and running the ℝ³ halfspace machinery of Theorem 3.
+//!
+//! Run with: `cargo run --release --example poi_search`
+
+use topk::core::{CostModel, EmConfig};
+use topk::halfspace::circular::Disk;
+use topk::halfspace::TopKCircular;
+use topk::workloads::points;
+
+fn main() {
+    let model = CostModel::new(EmConfig::new(64));
+
+    let n = 30_000;
+    let pois = points::gaussian2(n, 50.0, 21);
+    println!("indexing {n} points of interest (lifted to ℝ³) ...");
+    let index = TopKCircular::build(&model, pois.clone(), 21);
+    println!("built: {} blocks", index.space_blocks());
+
+    let here = [(0.0, 0.0), (30.0, -12.0), (-55.0, 40.0)];
+    for (cx, cy) in here {
+        for radius in [5.0, 25.0] {
+            let q = Disk::new((cx, cy), radius);
+            model.reset();
+            let mut out = Vec::new();
+            index.query_topk(&q, 5, &mut out);
+            println!(
+                "\nwithin {radius:>4} km of ({cx:>5}, {cy:>5}): {} hits, best ratings {:?} ({} I/Os)",
+                out.len(),
+                out.iter().map(|p| p.weight).collect::<Vec<_>>(),
+                model.report().reads
+            );
+
+            let brute = topk::core::brute::top_k(&pois, |p| q.contains(p), 5);
+            assert_eq!(
+                out.iter().map(|p| p.weight).collect::<Vec<_>>(),
+                brute.iter().map(|p| p.weight).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # topk — umbrella crate for the `topk-reductions` workspace
+//!
+//! A Rust implementation of the general top-k indexing reductions of
+//! Rahul & Tao, *"Efficient Top-k Indexing via General Reductions"*,
+//! PODS 2016, together with every substrate the paper builds on and all the
+//! concrete structures of its Theorems 3–6 and Corollary 1.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the reductions (Theorems 1 and 2), sampling lemmas,
+//!   core-sets, baselines, and the framework traits.
+//! * [`em`] — the instrumented external-memory model substrate.
+//! * [`geometry`] — the computational-geometry kit.
+//! * [`index`] — classic index substrates (priority search tree, segment
+//!   tree, kd-tree, weight canonical trees).
+//! * [`interval`], [`enclosure`], [`dominance`], [`halfspace`],
+//!   [`range1d`], [`range2d`] — the concrete problems (Theorems 3–6,
+//!   Corollary 1, and the §2 survey problems).
+//! * [`workloads`] — seeded data/query generators used by the experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use topk::core::{CostModel, EmConfig, TopKIndex};
+//! use topk::interval::{Interval, TopKStabbing};
+//!
+//! // A set of weighted intervals; weights are distinct (paper §1.1).
+//! let data: Vec<Interval> = (0..1000u64)
+//!     .map(|i| Interval::new(i as f64, (i + i % 50) as f64, i))
+//!     .collect();
+//!
+//! let model = CostModel::new(EmConfig::new(64));
+//! let index = TopKStabbing::build(&model, data, 7);
+//!
+//! // "Report the 5 heaviest intervals stabbed by x = 500."
+//! let mut out = Vec::new();
+//! index.query_topk(&500.0, 5, &mut out);
+//! assert_eq!(out.len(), 5);
+//! assert!(out.windows(2).all(|w| w[0].weight > w[1].weight));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dominance;
+pub use emsim as em;
+pub use enclosure;
+pub use geom as geometry;
+pub use halfspace;
+pub use interval;
+pub use range1d;
+pub use range2d;
+pub use structures as index;
+pub use topk_core as core;
+pub use workloads;

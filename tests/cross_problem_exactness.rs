@@ -1,0 +1,199 @@
+//! Cross-crate integration: every problem's top-k structures, through both
+//! reductions, must agree exactly with brute force on randomized inputs
+//! and queries — including all the `|q(D)| < k` / `k = 0` edges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk::core::brute;
+use topk::core::{CostModel, EmConfig, TopKIndex};
+
+fn model() -> CostModel {
+    CostModel::new(EmConfig::new(64))
+}
+
+#[test]
+fn interval_both_reductions_and_dynamic() {
+    let items = topk::workloads::intervals::mixed(2_000, 500.0, 1);
+    let queries = topk::workloads::intervals::stab_queries(15, 500.0, 2);
+    let t2 = topk::interval::TopKStabbing::build(&model(), items.clone(), 3);
+    let t1 = topk::interval::TopKStabbingWorstCase::build(&model(), items.clone(), 4);
+    let td = topk::interval::DynTopKStabbing::build(&model(), items.clone(), 5);
+    for &q in &queries {
+        for k in [0usize, 1, 3, 17, 200, 1_999, 2_000, 2_500] {
+            let want: Vec<u64> = brute::top_k(&items, |iv| iv.stabs(q), k)
+                .iter()
+                .map(|iv| iv.weight)
+                .collect();
+            for (name, got) in [
+                ("thm2", {
+                    let mut v = Vec::new();
+                    t2.query_topk(&q, k, &mut v);
+                    v.iter().map(|iv| iv.weight).collect::<Vec<_>>()
+                }),
+                ("thm1", {
+                    let mut v = Vec::new();
+                    t1.query_topk(&q, k, &mut v);
+                    v.iter().map(|iv| iv.weight).collect::<Vec<_>>()
+                }),
+                ("dyn", {
+                    let mut v = Vec::new();
+                    td.query_topk(&q, k, &mut v);
+                    v.iter().map(|iv| iv.weight).collect::<Vec<_>>()
+                }),
+            ] {
+                assert_eq!(got, want, "{name} q={q} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn enclosure_both_reductions() {
+    let items = topk::workloads::rects::uniform(1_500, 100.0, 25.0, 6);
+    let queries = topk::workloads::rects::point_queries(12, 100.0, 7);
+    let t2 = topk::enclosure::TopKEnclosure::build(&model(), items.clone(), 8);
+    let t1 = topk::enclosure::TopKEnclosureWorstCase::build(&model(), items.clone(), 9);
+    for q in &queries {
+        for k in [1usize, 9, 111, 1_500] {
+            let want: Vec<u64> = brute::top_k(&items, |r| r.contains(*q), k)
+                .iter()
+                .map(|r| r.weight)
+                .collect();
+            let mut v = Vec::new();
+            t2.query_topk(q, k, &mut v);
+            assert_eq!(v.iter().map(|r| r.weight).collect::<Vec<_>>(), want, "thm2");
+            let mut v = Vec::new();
+            t1.query_topk(q, k, &mut v);
+            assert_eq!(v.iter().map(|r| r.weight).collect::<Vec<_>>(), want, "thm1");
+        }
+    }
+}
+
+#[test]
+fn dominance_theorem2() {
+    let items = topk::workloads::hotels::correlated(2_000, 10);
+    let queries = topk::workloads::hotels::queries(15, 11);
+    let idx = topk::dominance::TopKDominance::build(&model(), items.clone(), 12);
+    for q in &queries {
+        for k in [1usize, 10, 333, 2_001] {
+            let want: Vec<u64> = brute::top_k(&items, |h| h.dominated_by(q), k)
+                .iter()
+                .map(|h| h.weight)
+                .collect();
+            let mut v = Vec::new();
+            idx.query_topk(q, k, &mut v);
+            assert_eq!(v.iter().map(|h| h.weight).collect::<Vec<_>>(), want);
+        }
+    }
+}
+
+#[test]
+fn halfspace_2d_and_hd_and_circular() {
+    // 2D (Theorem 2 assembly).
+    let pts2 = topk::workloads::points::gaussian2(1_500, 80.0, 13);
+    let planes = topk::workloads::points::halfplanes(10, 80.0, 14);
+    let idx2 = topk::halfspace::TopKHalfplane::build(&model(), pts2.clone(), 15);
+    for h in &planes {
+        for k in [1usize, 20, 600] {
+            let want: Vec<u64> = brute::top_k(&pts2, |p| h.contains(p.point()), k)
+                .iter()
+                .map(|p| p.weight)
+                .collect();
+            let mut v = Vec::new();
+            idx2.query_topk(h, k, &mut v);
+            assert_eq!(v.iter().map(|p| p.weight).collect::<Vec<_>>(), want, "2d");
+        }
+    }
+
+    // 3D (Theorem 1 assembly, the zero-slowdown regime).
+    let pts3 = topk::workloads::points::uniform_d::<3>(1_200, 50.0, 16);
+    let spaces = topk::workloads::points::halfspaces_d::<3>(8, 50.0, 17);
+    let idx3 = topk::halfspace::TopKHalfspaceWorstCase::<3>::build(&model(), pts3.clone(), 18);
+    for h in &spaces {
+        for k in [1usize, 15, 400] {
+            let want: Vec<u64> = brute::top_k(&pts3, |p| h.contains(&p.point()), k)
+                .iter()
+                .map(|p| p.weight)
+                .collect();
+            let mut v = Vec::new();
+            idx3.query_topk(h, k, &mut v);
+            assert_eq!(v.iter().map(|p| p.weight).collect::<Vec<_>>(), want, "3d");
+        }
+    }
+
+    // Circular (Corollary 1 via lifting).
+    let disks = topk::workloads::points::disks(8, 80.0, 19);
+    let circ = topk::halfspace::TopKCircular::build(&model(), pts2.clone(), 20);
+    for d in &disks {
+        for k in [1usize, 12, 300] {
+            let want: Vec<u64> = brute::top_k(&pts2, |p| d.contains(p), k)
+                .iter()
+                .map(|p| p.weight)
+                .collect();
+            let mut v = Vec::new();
+            circ.query_topk(d, k, &mut v);
+            assert_eq!(v.iter().map(|p| p.weight).collect::<Vec<_>>(), want, "circ");
+        }
+    }
+}
+
+#[test]
+fn dynamic_interval_random_soak() {
+    // Longer randomized interleaving than the unit tests, across rebuilds.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut idx = topk::interval::DynTopKStabbing::build(&model(), Vec::new(), 22);
+    let mut live: Vec<topk::interval::Interval> = Vec::new();
+    let mut w = 1u64;
+    for step in 0..4_000 {
+        if rng.gen_bool(0.55) || live.is_empty() {
+            let a: f64 = rng.gen_range(0.0..300.0);
+            let iv = topk::interval::Interval::new(a, a + rng.gen_range(0.0..40.0), w);
+            w += 1;
+            idx.insert(iv);
+            live.push(iv);
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let iv = live.swap_remove(i);
+            assert!(idx.delete(iv.weight), "step {step}");
+        }
+        if step % 333 == 0 {
+            let q: f64 = rng.gen_range(-5.0..310.0);
+            let k = rng.gen_range(1..30);
+            let mut got = Vec::new();
+            idx.query_topk(&q, k, &mut got);
+            let want = brute::top_k(&live, |iv| iv.stabs(q), k);
+            assert_eq!(
+                got.iter().map(|iv| iv.weight).collect::<Vec<_>>(),
+                want.iter().map(|iv| iv.weight).collect::<Vec<_>>(),
+                "step {step} q={q} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn range1d_reverse_reduction_closes_the_circle() {
+    // §1.2: prioritized ⇒ (Thm 2) top-k ⇒ (reverse reduction) prioritized.
+    // The composition must still answer prioritized queries exactly.
+    use topk::core::reverse::PrioritizedFromTopK;
+    use topk::core::PrioritizedIndex;
+
+    let items = topk::workloads::line::uniform(2_000, 100.0, 23);
+    let m = model();
+    let topk_idx = topk::range1d::topk_range1d(&m, items.clone(), 24);
+    let pri = PrioritizedFromTopK::new(&m, topk_idx, items.len());
+    let mut rng = StdRng::seed_from_u64(25);
+    for _ in 0..20 {
+        let a: f64 = rng.gen_range(0.0..100.0);
+        let q = topk::range1d::Range::new(a, (a + rng.gen_range(0.0..40.0)).min(100.0));
+        let tau = rng.gen_range(0..2_200u64);
+        let mut got = Vec::new();
+        pri.query(&q, tau, &mut got);
+        let mut got_w: Vec<u64> = got.iter().map(|p| p.weight).collect();
+        got_w.sort_unstable();
+        let want = brute::prioritized(&items, |p| q.contains(p), tau);
+        let mut want_w: Vec<u64> = want.iter().map(|p| p.weight).collect();
+        want_w.sort_unstable();
+        assert_eq!(got_w, want_w);
+    }
+}
