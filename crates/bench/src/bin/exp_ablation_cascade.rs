@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E16).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::ablation::exp_ablation_cascade(scale);
+    bench::experiments::ablation::exp_ablation_cascade(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E14).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::ablation::exp_ablation_inner(scale);
+    bench::experiments::ablation::exp_ablation_inner(scale).print();
 }

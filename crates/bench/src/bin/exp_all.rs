@@ -1,23 +1,131 @@
-//! Run every experiment E1–E15 in order (see DESIGN.md §4).
+//! Run every experiment E1–E15 (see DESIGN.md §4), fanned out across
+//! threads, then print the buffered tables in E-order and write a
+//! machine-readable `BENCH_results.json` for cross-PR perf tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! SCALE=smoke cargo run --release -p bench --bin exp_all -- \
+//!     [--only <substring>] [--threads N] [--sequential] [--json PATH]
+//! ```
+//!
+//! * `--only <substring>` (or `EXP_ONLY=<substring>`) — run only the
+//!   experiments whose registry name contains the substring.
+//! * `--threads N` (or `BENCH_THREADS=N`) — worker count; default
+//!   `available_parallelism()`. `--sequential` is shorthand for 1.
+//! * `--json PATH` — where to write results (default
+//!   `BENCH_results.json`; `--json -` disables the file).
+
+use bench::parallel::{all_experiments, default_threads, run_experiments, ExpOutcome};
+use bench::table::f;
+use bench::{Scale, Table};
+
 fn main() {
-    let scale = bench::Scale::from_env(bench::Scale::Paper);
-    use bench::experiments::*;
-    sampling::exp_lemma1(scale);
-    sampling::exp_lemma3(scale);
-    sampling::exp_coreset(scale);
-    reductions::exp_theorem1(scale);
-    reductions::exp_theorem2(scale);
-    baseline::exp_baseline(scale);
-    problems::exp_interval(scale);
-    problems::exp_enclosure(scale);
-    problems::exp_dominance(scale);
-    problems::exp_halfspace2d(scale);
-    problems::exp_halfspace_hd(scale);
-    problems::exp_circular(scale);
-    updates::exp_updates(scale);
-    ablation::exp_ablation_inner(scale);
-    ablation::exp_ablation_cascade(scale);
-    ablation::exp_range2d(scale);
-    ablation::exp_dominance_substrates(scale);
-    space::exp_space(scale);
+    let mut only: Option<String> = std::env::var("EXP_ONLY").ok();
+    let mut threads = default_threads();
+    let mut json_path = String::from("BENCH_results.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => only = Some(args.next().expect("--only needs a substring")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a positive integer")
+            }
+            "--sequential" => threads = 1,
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: exp_all [--only <substring>] [--threads N] [--sequential] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = Scale::from_env(Scale::Paper);
+    let exps: Vec<_> = all_experiments()
+        .iter()
+        .filter(|e| only.as_deref().is_none_or(|s| e.name.contains(s)))
+        .copied()
+        .collect();
+    if exps.is_empty() {
+        eprintln!(
+            "no experiment name contains {:?}; known names:",
+            only.as_deref().unwrap_or("")
+        );
+        for e in all_experiments() {
+            eprintln!("  {}", e.name);
+        }
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "running {} experiment(s) at {scale:?} scale on {threads} thread(s)",
+        exps.len()
+    );
+    let start = std::time::Instant::now();
+    let outcomes = run_experiments(&exps, scale, threads);
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    for o in &outcomes {
+        o.table.print();
+    }
+
+    let mut summary = Table::new(
+        format!("exp_all summary — {scale:?}, {threads} thread(s)"),
+        &["experiment", "wall ms", "reads", "writes", "total I/Os"],
+    );
+    for o in &outcomes {
+        summary.row_strings(vec![
+            o.name.to_string(),
+            f(o.wall_ms),
+            o.ios.reads.to_string(),
+            o.ios.writes.to_string(),
+            o.ios.total().to_string(),
+        ]);
+    }
+    summary.row_strings(vec![
+        "TOTAL".into(),
+        f(total_wall_ms),
+        outcomes.iter().map(|o| o.ios.reads).sum::<u64>().to_string(),
+        outcomes.iter().map(|o| o.ios.writes).sum::<u64>().to_string(),
+        outcomes.iter().map(|o| o.ios.total()).sum::<u64>().to_string(),
+    ]);
+    summary.print();
+
+    if json_path != "-" {
+        let json = render_json(scale, threads, total_wall_ms, &outcomes);
+        match std::fs::write(&json_path, json) {
+            Ok(()) => eprintln!("wrote {json_path}"),
+            Err(e) => {
+                eprintln!("failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde): experiment name →
+/// wall-clock and simulated I/Os, plus run metadata.
+fn render_json(scale: Scale, threads: usize, total_wall_ms: f64, outcomes: &[ExpOutcome]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.1},\n"));
+    s.push_str("  \"experiments\": {\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{ \"wall_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {} }}{}\n",
+            o.name,
+            o.wall_ms,
+            o.ios.reads,
+            o.ios.writes,
+            o.ios.total(),
+            if i + 1 == outcomes.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E6).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::baseline::exp_baseline(scale);
+    bench::experiments::baseline::exp_baseline(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E12).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::problems::exp_circular(scale);
+    bench::experiments::problems::exp_circular(scale).print();
 }

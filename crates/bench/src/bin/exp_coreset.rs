@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E3).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::sampling::exp_coreset(scale);
+    bench::experiments::sampling::exp_coreset(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E9).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::problems::exp_dominance(scale);
+    bench::experiments::problems::exp_dominance(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E18).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::ablation::exp_dominance_substrates(scale);
+    bench::experiments::ablation::exp_dominance_substrates(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E11).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::problems::exp_halfspace_hd(scale);
+    bench::experiments::problems::exp_halfspace_hd(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E2).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::sampling::exp_lemma3(scale);
+    bench::experiments::sampling::exp_lemma3(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E17).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::ablation::exp_range2d(scale);
+    bench::experiments::ablation::exp_range2d(scale).print();
 }

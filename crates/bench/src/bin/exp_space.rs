@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E15).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::space::exp_space(scale);
+    bench::experiments::space::exp_space(scale).print();
 }

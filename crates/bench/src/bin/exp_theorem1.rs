@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E4).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::reductions::exp_theorem1(scale);
+    bench::experiments::reductions::exp_theorem1(scale).print();
 }

@@ -1,5 +1,5 @@
 //! Experiment binary: see DESIGN.md §4 (E13).
 fn main() {
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::updates::exp_updates(scale);
+    bench::experiments::updates::exp_updates(scale).print();
 }

@@ -69,7 +69,6 @@ pub fn exp_ablation_inner(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }
 
@@ -106,7 +105,6 @@ pub fn exp_ablation_cascade(scale: Scale) -> Table {
             f(io_plain / io_casc.max(1.0)),
         ]);
     }
-    t.print();
     t
 }
 
@@ -155,7 +153,6 @@ pub fn exp_range2d(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }
 
@@ -196,6 +193,5 @@ pub fn exp_dominance_substrates(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }

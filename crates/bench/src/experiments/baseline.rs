@@ -73,6 +73,5 @@ pub fn exp_baseline(scale: Scale) -> Table {
         ]);
         k *= 8;
     }
-    t.print();
     t
 }

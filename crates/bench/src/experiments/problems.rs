@@ -45,7 +45,6 @@ pub fn exp_interval(scale: Scale) -> Table {
             }
         }
     }
-    t.print();
     t
 }
 
@@ -78,7 +77,6 @@ pub fn exp_enclosure(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }
 
@@ -114,7 +112,6 @@ pub fn exp_dominance(scale: Scale) -> Table {
             }
         }
     }
-    t.print();
     t
 }
 
@@ -140,7 +137,6 @@ pub fn exp_halfspace2d(scale: Scale) -> Table {
             t.row_strings(vec![n.to_string(), k.to_string(), f(io), f(scan)]);
         }
     }
-    t.print();
     t
 }
 
@@ -201,7 +197,6 @@ pub fn exp_halfspace_hd(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }
 
@@ -227,6 +222,5 @@ pub fn exp_circular(scale: Scale) -> Table {
             t.row_strings(vec![n.to_string(), k.to_string(), f(io), f(scan)]);
         }
     }
-    t.print();
     t
 }

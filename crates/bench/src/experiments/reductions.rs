@@ -77,7 +77,6 @@ pub fn exp_theorem1(scale: Scale) -> Table {
             }
         }
     }
-    t.print();
     t
 }
 
@@ -145,6 +144,5 @@ pub fn exp_theorem2(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }

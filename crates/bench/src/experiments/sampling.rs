@@ -18,24 +18,32 @@ pub fn exp_lemma1(scale: Scale) -> Table {
         &["k", "delta", "p", "empirical", "bound 1-δ", "ok"],
     );
     let s: Vec<u64> = (0..n as u64).collect();
-    let mut rng = StdRng::seed_from_u64(0xE1);
     for &k in &[100usize, 1_000, 10_000] {
         if n < 4 * k {
             continue;
         }
-        for &delta in &[0.5f64, 0.25, 0.1] {
+        for (di, &delta) in [0.5f64, 0.25, 0.1].iter().enumerate() {
             let p = (3.0 * (3.0f64 / delta).ln() / k as f64).min(1.0);
             let params = Lemma1Params { p, delta, k };
             if !params.preconditions(n) {
                 continue;
             }
-            let mut ok = 0;
-            for _ in 0..trials {
-                let r = p_sample(&mut rng, &s, p);
-                if lemma1_holds(&s, &r, k, p) {
-                    ok += 1;
-                }
-            }
+            // Independent trials: each derives its RNG from the trial
+            // index, so the empirical rate is identical at any thread
+            // count (see parallel::map_trials).
+            let ok: usize = crate::parallel::map_trials(
+                (0..trials).collect::<Vec<usize>>(),
+                crate::parallel::default_threads(),
+                |t, _| {
+                    let mut rng = StdRng::seed_from_u64(
+                        0xE1_0000_0000 ^ ((k as u64) << 20) ^ ((di as u64) << 16) ^ t as u64,
+                    );
+                    let r = p_sample(&mut rng, &s, p);
+                    usize::from(lemma1_holds(&s, &r, k, p))
+                },
+            )
+            .into_iter()
+            .sum();
             let rate = ok as f64 / trials as f64;
             t.row_strings(vec![
                 k.to_string(),
@@ -47,7 +55,6 @@ pub fn exp_lemma1(scale: Scale) -> Table {
             ]);
         }
     }
-    t.print();
     t
 }
 
@@ -61,18 +68,22 @@ pub fn exp_lemma3(scale: Scale) -> Table {
         &["K", "empirical", "bound", "ok"],
     );
     let s: Vec<u64> = (0..n as u64).collect();
-    let mut rng = StdRng::seed_from_u64(0xE2);
     for &big_k in &[8.0f64, 64.0, 512.0, 4_096.0] {
         if (n as f64) < 4.0 * big_k {
             continue;
         }
-        let mut ok = 0;
-        for _ in 0..trials {
-            let r = one_in_k_sample(&mut rng, &s, big_k);
-            if lemma3_holds(&s, &r, big_k) {
-                ok += 1;
-            }
-        }
+        let ok: usize = crate::parallel::map_trials(
+            (0..trials).collect::<Vec<usize>>(),
+            crate::parallel::default_threads(),
+            |t, _| {
+                let mut rng =
+                    StdRng::seed_from_u64(0xE2_0000_0000 ^ ((big_k as u64) << 16) ^ t as u64);
+                let r = one_in_k_sample(&mut rng, &s, big_k);
+                usize::from(lemma3_holds(&s, &r, big_k))
+            },
+        )
+        .into_iter()
+        .sum();
         let rate = ok as f64 / trials as f64;
         t.row_strings(vec![
             f(big_k),
@@ -81,7 +92,6 @@ pub fn exp_lemma3(scale: Scale) -> Table {
             (rate >= 0.09).to_string(),
         ]);
     }
-    t.print();
     t
 }
 
@@ -132,6 +142,5 @@ pub fn exp_coreset(scale: Scale) -> Table {
             checked.to_string(),
         ]);
     }
-    t.print();
     t
 }

@@ -58,7 +58,6 @@ pub fn exp_space(scale: Scale) -> Table {
         let s = dominance::TopKDominance::build(&model, hotels, 0xEF);
         push(&mut t, "dominance/topk", n, s.space_blocks(), n_blocks_h);
     }
-    t.print();
     t
 }
 

@@ -31,11 +31,9 @@ pub fn exp_updates(scale: Scale) -> Table {
 
         // Inserts.
         model.reset();
-        let mut next_w = 10_000_000u64;
-        for _ in 0..ops {
+        for next_w in 10_000_000u64..10_000_000 + ops as u64 {
             let a: f64 = rng.gen_range(0.0..1_000.0);
             let iv = interval::Interval::new(a, a + rng.gen_range(0.0..120.0), next_w);
-            next_w += 1;
             idx.insert(iv);
             live.push(iv);
         }
@@ -73,6 +71,5 @@ pub fn exp_updates(scale: Scale) -> Table {
             f(io_q),
         ]);
     }
-    t.print();
     t
 }

@@ -12,6 +12,7 @@
 //! benches (`benches/`).
 
 pub mod experiments;
+pub mod parallel;
 pub mod table;
 
 pub use table::Table;
@@ -71,27 +72,15 @@ mod tests {
         assert_eq!(Scale::Smoke.trials(100), 10);
     }
 
-    /// Every experiment must run end-to-end at smoke scale.
+    /// Every experiment must run end-to-end at smoke scale, through the
+    /// parallel harness (which also buffers their tables).
     #[test]
     fn all_experiments_smoke() {
-        let s = Scale::Smoke;
-        experiments::sampling::exp_lemma1(s);
-        experiments::sampling::exp_lemma3(s);
-        experiments::sampling::exp_coreset(s);
-        experiments::reductions::exp_theorem1(s);
-        experiments::reductions::exp_theorem2(s);
-        experiments::baseline::exp_baseline(s);
-        experiments::problems::exp_interval(s);
-        experiments::problems::exp_enclosure(s);
-        experiments::problems::exp_dominance(s);
-        experiments::problems::exp_halfspace2d(s);
-        experiments::problems::exp_halfspace_hd(s);
-        experiments::problems::exp_circular(s);
-        experiments::updates::exp_updates(s);
-        experiments::ablation::exp_ablation_inner(s);
-        experiments::ablation::exp_ablation_cascade(s);
-        experiments::ablation::exp_range2d(s);
-        experiments::ablation::exp_dominance_substrates(s);
-        experiments::space::exp_space(s);
+        let exps = parallel::all_experiments();
+        let outcomes = parallel::run_experiments(exps, Scale::Smoke, parallel::default_threads());
+        assert_eq!(outcomes.len(), exps.len());
+        for o in &outcomes {
+            assert!(!o.table.is_empty(), "experiment {} produced an empty table", o.name);
+        }
     }
 }

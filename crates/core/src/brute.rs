@@ -6,7 +6,7 @@ use crate::traits::Element;
 /// The `k` heaviest elements satisfying `pred`, heaviest first.
 pub fn top_k<E: Element>(items: &[E], pred: impl Fn(&E) -> bool, k: usize) -> Vec<E> {
     let mut v: Vec<E> = items.iter().filter(|e| pred(e)).cloned().collect();
-    v.sort_by(|a, b| b.weight().cmp(&a.weight()));
+    v.sort_by_key(|e| std::cmp::Reverse(e.weight()));
     v.truncate(k);
     v
 }
@@ -18,7 +18,7 @@ pub fn prioritized<E: Element>(items: &[E], pred: impl Fn(&E) -> bool, tau: u64)
         .filter(|e| pred(e) && e.weight() >= tau)
         .cloned()
         .collect();
-    v.sort_by(|a, b| b.weight().cmp(&a.weight()));
+    v.sort_by_key(|e| std::cmp::Reverse(e.weight()));
     v
 }
 

@@ -78,7 +78,7 @@ where
 {
     /// Build over `items` (distinct weights required).
     pub fn build(model: &CostModel, builder: &B, mut items: Vec<E>) -> Self {
-        items.sort_by(|a, b| b.weight().cmp(&a.weight()));
+        items.sort_by_key(|e| std::cmp::Reverse(e.weight()));
         for w in items.windows(2) {
             assert!(w[0].weight() != w[1].weight(), "weights must be distinct");
         }

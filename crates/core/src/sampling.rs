@@ -98,7 +98,7 @@ pub fn lemma3_holds(s: &[Weight], r: &[Weight], big_k: f64) -> bool {
 /// descending. (Pure RAM helper — charges nothing.)
 pub fn heaviest<E: Element>(items: &[E], count: usize) -> Vec<E> {
     let mut v: Vec<E> = items.to_vec();
-    v.sort_by(|a, b| b.weight().cmp(&a.weight()));
+    v.sort_by_key(|e| std::cmp::Reverse(e.weight()));
     v.truncate(count);
     v
 }

@@ -55,7 +55,7 @@ impl WeightSortedArray {
     /// these toys exist for query-cost isolation, not build-cost realism).
     pub fn build(model: &CostModel, mut items: Vec<ToyElem>) -> Self {
         model.charge_scan::<ToyElem>(items.len());
-        items.sort_by(|a, b| b.w.cmp(&a.w));
+        items.sort_by_key(|e| std::cmp::Reverse(e.w));
         for w in items.windows(2) {
             assert!(w[0].w != w[1].w, "weights must be distinct");
         }
@@ -303,7 +303,7 @@ pub struct DynPrefixBuilder;
 impl PrioritizedBuilder<ToyElem, PrefixQuery> for DynPrefixBuilder {
     type Index = DynPrefixIndex;
     fn build(&self, model: &CostModel, mut items: Vec<ToyElem>) -> DynPrefixIndex {
-        items.sort_by(|a, b| b.w.cmp(&a.w));
+        items.sort_by_key(|e| std::cmp::Reverse(e.w));
         DynPrefixIndex {
             items,
             model: model.clone(),

@@ -101,6 +101,11 @@ pub trait MaxIndex<E: Element, Q> {
 
     /// Number of elements indexed.
     fn len(&self) -> usize;
+
+    /// Whether the structure indexes no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// A structure answering top-k queries — the target of the reductions.

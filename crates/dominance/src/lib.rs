@@ -321,7 +321,7 @@ impl PrioritizedIndex<Hotel, [f64; 3]> for DomZTree {
 
 impl MaxIndex<Hotel, [f64; 3]> for DomZTree {
     fn query_max(&self, q: &[f64; 3]) -> Option<Hotel> {
-        let Some(root) = self.root else { return None };
+        let root = self.root?;
         let (qx, qy, qz) = (q[0], q[1], q[2]);
         let mut best: Option<Hotel> = None;
         self.canonical_z(root, qz, &mut |xy, need_z_filter| {

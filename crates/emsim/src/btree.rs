@@ -55,12 +55,11 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     /// clamped to at least 4 so the tree degenerates gracefully in RAM mode.
     pub fn new(model: &CostModel) -> Self {
         let fanout = model.config().items_per_block::<(K, V)>().max(4);
-        let mut nodes = Vec::new();
-        nodes.push(Node {
+        let nodes = vec![Node {
             keys: Vec::new(),
             vals: Vec::new(),
             children: Vec::new(),
-        });
+        }];
         BTree {
             nodes,
             root: 0,

@@ -5,10 +5,29 @@
 //! every access through an LRU buffer pool of `M/B` frames so that re-reads
 //! of memory-resident blocks are free — exactly the accounting of the
 //! Aggarwal–Vitter model the paper works in (§1.1).
+//!
+//! # Concurrency
+//!
+//! The meter is `Send + Sync`: counters are atomics, the buffer pool and
+//! the trace sit behind mutexes, so one `CostModel` may be hammered from
+//! many threads and the totals stay exact. For parallel *measurements*
+//! (concurrent experiment trials that must each see a deterministic,
+//! isolated buffer pool) use [`CostModel::scoped`], which hands each
+//! trial a private child meter whose totals roll up into the parent when
+//! the [`ScopedMeter`] drops — no lock contention on the hot `touch`
+//! path, and per-meter pool hits stay deterministic regardless of how
+//! trials interleave.
+//!
+//! Every charge is additionally tallied into a plain thread-local
+//! ([`thread_charged`]) so a harness can attribute total I/Os to whatever
+//! ran on the current thread without threading a meter through every
+//! call; [`credit_thread`] folds a worker thread's tally back into its
+//! parent's.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 use crate::pool::LruPool;
 
@@ -53,25 +72,61 @@ impl EmConfig {
     }
 }
 
+thread_local! {
+    static THREAD_READS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_WRITES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative I/Os charged *by the current thread* across every meter it
+/// has touched since the thread started. Monotone; diff two snapshots to
+/// attribute the I/Os of a code region without plumbing a meter into it.
+pub fn thread_charged() -> IoReport {
+    IoReport {
+        reads: THREAD_READS.with(Cell::get),
+        writes: THREAD_WRITES.with(Cell::get),
+        ..IoReport::default()
+    }
+}
+
+/// Add externally-measured charges to the current thread's tally — used by
+/// fan-out helpers to credit worker threads' I/Os back to the thread that
+/// spawned them, so [`thread_charged`] deltas stay exact across nested
+/// parallelism.
+pub fn credit_thread(r: IoReport) {
+    THREAD_READS.with(|c| c.set(c.get() + r.reads));
+    THREAD_WRITES.with(|c| c.set(c.get() + r.writes));
+}
+
+fn tally_reads(n: u64) {
+    THREAD_READS.with(|c| c.set(c.get() + n));
+}
+
+fn tally_writes(n: u64) {
+    THREAD_WRITES.with(|c| c.set(c.get() + n));
+}
+
 #[derive(Debug)]
 struct Inner {
     config: EmConfig,
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    pool: RefCell<LruPool>,
-    next_array_id: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    pool: Mutex<LruPool>,
+    next_array_id: AtomicU64,
+    /// Fast path: skip the trace mutex entirely unless tracing is on.
+    tracing: AtomicBool,
     /// Per-array read counts, populated only while tracing is on.
-    trace: RefCell<Option<HashMap<u64, u64>>>,
+    trace: Mutex<Option<HashMap<u64, u64>>>,
 }
 
 /// A cheaply-cloneable handle to the shared I/O meter.
 ///
 /// All structures built against the same `CostModel` charge the same
 /// counters, so a composite structure (e.g. a Theorem 1 reduction wrapping a
-/// hierarchy of prioritized structures) is measured end to end.
+/// hierarchy of prioritized structures) is measured end to end. The handle
+/// is `Send + Sync`; see the module docs for the concurrency model.
 #[derive(Clone, Debug)]
 pub struct CostModel {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 /// A snapshot of the meter, as returned by [`CostModel::report`].
@@ -81,6 +136,10 @@ pub struct IoReport {
     pub reads: u64,
     /// Block writes charged so far.
     pub writes: u64,
+    /// Buffer-pool hits (free re-reads) observed so far.
+    pub pool_hits: u64,
+    /// Buffer-pool misses (reads that cost an I/O) observed so far.
+    pub pool_misses: u64,
 }
 
 impl IoReport {
@@ -88,19 +147,54 @@ impl IoReport {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Fraction of pool-routed accesses that hit (free): `hits / (hits +
+    /// misses)`, or `0.0` when nothing went through the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let accesses = self.pool_hits + self.pool_misses;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / accesses as f64
+        }
+    }
+
+    /// Component-wise difference (`self` must be a later snapshot of the
+    /// same meter than `earlier`).
+    pub fn since(&self, earlier: &IoReport) -> IoReport {
+        IoReport {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+        }
+    }
+}
+
+impl std::ops::Add for IoReport {
+    type Output = IoReport;
+    fn add(self, rhs: IoReport) -> IoReport {
+        IoReport {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            pool_hits: self.pool_hits + rhs.pool_hits,
+            pool_misses: self.pool_misses + rhs.pool_misses,
+        }
+    }
 }
 
 impl CostModel {
     /// Create a meter for the given machine.
     pub fn new(config: EmConfig) -> Self {
         CostModel {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 config,
-                reads: Cell::new(0),
-                writes: Cell::new(0),
-                pool: RefCell::new(LruPool::new(config.mem_blocks)),
-                next_array_id: Cell::new(0),
-                trace: RefCell::new(None),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                pool: Mutex::new(LruPool::new(config.mem_blocks)),
+                next_array_id: AtomicU64::new(0),
+                tracing: AtomicBool::new(false),
+                trace: Mutex::new(None),
             }),
         }
     }
@@ -124,23 +218,54 @@ impl CostModel {
     /// [`crate::BlockArray`], a tree's node arena, …) — used as the high
     /// bits of buffer-pool keys so distinct structures never collide.
     pub fn new_array_id(&self) -> u64 {
-        let id = self.inner.next_array_id.get();
-        self.inner.next_array_id.set(id + 1);
-        id
+        self.inner.next_array_id.fetch_add(1, Relaxed)
+    }
+
+    /// An isolated child meter (same machine parameters, fresh counters and
+    /// buffer pool) whose totals are added to `self` when the returned
+    /// [`ScopedMeter`] is dropped. The idiom for concurrent trials: each
+    /// trial charges its own child without contending on the parent's pool
+    /// lock, and the parent's totals end up identical to a sequential run.
+    pub fn scoped(&self) -> ScopedMeter {
+        ScopedMeter {
+            child: CostModel::new(self.inner.config),
+            parent: self.clone(),
+        }
+    }
+
+    /// Add a finished sub-measurement to this meter's counters. (The
+    /// buffer pool is unaffected; pool statistics are folded in.)
+    pub fn absorb(&self, r: IoReport) {
+        self.inner.reads.fetch_add(r.reads, Relaxed);
+        self.inner.writes.fetch_add(r.writes, Relaxed);
+        self.inner
+            .pool
+            .lock()
+            .expect("pool lock poisoned")
+            .absorb_stats(r.pool_hits, r.pool_misses);
     }
 
     /// Charge the read of one specific block, going through the buffer pool:
     /// a pool hit is free, a miss costs one read I/O.
     pub fn touch(&self, array_id: u64, block_idx: u64) {
         if self.inner.config.mem_blocks != 0 {
-            let mut pool = self.inner.pool.borrow_mut();
+            let mut pool = self.inner.pool.lock().expect("pool lock poisoned");
             if pool.access(array_id, block_idx) {
                 return; // pool hit: free
             }
         }
-        self.inner.reads.set(self.inner.reads.get() + 1);
-        if let Some(trace) = self.inner.trace.borrow_mut().as_mut() {
-            *trace.entry(array_id).or_insert(0) += 1;
+        self.inner.reads.fetch_add(1, Relaxed);
+        tally_reads(1);
+        if self.inner.tracing.load(Relaxed) {
+            if let Some(trace) = self
+                .inner
+                .trace
+                .lock()
+                .expect("trace lock poisoned")
+                .as_mut()
+            {
+                *trace.entry(array_id).or_insert(0) += 1;
+            }
         }
     }
 
@@ -149,26 +274,36 @@ impl CostModel {
     /// trace. Only `touch`-based reads are attributed; bulk `charge_*` calls
     /// have no structure identity.
     pub fn start_trace(&self) {
-        *self.inner.trace.borrow_mut() = Some(HashMap::new());
+        *self.inner.trace.lock().expect("trace lock poisoned") = Some(HashMap::new());
+        self.inner.tracing.store(true, Relaxed);
     }
 
     /// Stop tracing and return `(array_id, reads)` pairs, heaviest first.
     pub fn stop_trace(&self) -> Vec<(u64, u64)> {
-        let map = self.inner.trace.borrow_mut().take().unwrap_or_default();
+        self.inner.tracing.store(false, Relaxed);
+        let map = self
+            .inner
+            .trace
+            .lock()
+            .expect("trace lock poisoned")
+            .take()
+            .unwrap_or_default();
         let mut v: Vec<(u64, u64)> = map.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
     /// Charge `n` read I/Os unconditionally (for sequential scans, whose
     /// blocks would evict each other anyway).
     pub fn charge_reads(&self, n: u64) {
-        self.inner.reads.set(self.inner.reads.get() + n);
+        self.inner.reads.fetch_add(n, Relaxed);
+        tally_reads(n);
     }
 
     /// Charge `n` write I/Os.
     pub fn charge_writes(&self, n: u64) {
-        self.inner.writes.set(self.inner.writes.get() + n);
+        self.inner.writes.fetch_add(n, Relaxed);
+        tally_writes(n);
     }
 
     /// Charge the cost of sequentially scanning `items` items of type `T`:
@@ -183,22 +318,43 @@ impl CostModel {
 
     /// Read the counters.
     pub fn report(&self) -> IoReport {
+        let (pool_hits, pool_misses) = self
+            .inner
+            .pool
+            .lock()
+            .expect("pool lock poisoned")
+            .stats();
         IoReport {
-            reads: self.inner.reads.get(),
-            writes: self.inner.writes.get(),
+            reads: self.inner.reads.load(Relaxed),
+            writes: self.inner.writes.load(Relaxed),
+            pool_hits,
+            pool_misses,
         }
     }
 
-    /// Zero the counters (the buffer pool is *not* flushed; use
-    /// [`CostModel::clear_pool`] for a cold-cache measurement).
-    pub fn reset(&self) {
-        self.inner.reads.set(0);
-        self.inner.writes.set(0);
+    /// Buffer-pool hit rate over everything charged so far (see
+    /// [`IoReport::hit_rate`]).
+    pub fn hit_rate(&self) -> f64 {
+        self.report().hit_rate()
     }
 
-    /// Empty the buffer pool, so the next measurement starts cold.
+    /// Zero the counters, including pool hit/miss statistics (the buffer
+    /// pool *contents* are kept; use [`CostModel::clear_pool`] for a
+    /// cold-cache measurement).
+    pub fn reset(&self) {
+        self.inner.reads.store(0, Relaxed);
+        self.inner.writes.store(0, Relaxed);
+        self.inner
+            .pool
+            .lock()
+            .expect("pool lock poisoned")
+            .reset_stats();
+    }
+
+    /// Empty the buffer pool, so the next measurement starts cold. Hit/miss
+    /// statistics are kept; [`CostModel::reset`] zeroes those.
     pub fn clear_pool(&self) {
-        self.inner.pool.borrow_mut().clear();
+        self.inner.pool.lock().expect("pool lock poisoned").clear();
     }
 
     /// Run `f` and return its result together with the I/Os it charged.
@@ -206,13 +362,38 @@ impl CostModel {
         let before = self.report();
         let out = f();
         let after = self.report();
-        (
-            out,
-            IoReport {
-                reads: after.reads - before.reads,
-                writes: after.writes - before.writes,
-            },
-        )
+        (out, after.since(&before))
+    }
+}
+
+/// An isolated child meter that rolls its totals up into the parent on
+/// drop — see [`CostModel::scoped`]. Dereferences to the child
+/// [`CostModel`], so it can be handed to anything expecting a meter.
+#[derive(Debug)]
+pub struct ScopedMeter {
+    child: CostModel,
+    parent: CostModel,
+}
+
+impl ScopedMeter {
+    /// The child meter itself (also available via deref).
+    pub fn meter(&self) -> &CostModel {
+        &self.child
+    }
+}
+
+impl std::ops::Deref for ScopedMeter {
+    type Target = CostModel;
+    fn deref(&self) -> &CostModel {
+        &self.child
+    }
+}
+
+impl Drop for ScopedMeter {
+    fn drop(&mut self) {
+        // The child's charges were already tallied on whatever thread made
+        // them, so absorb only the meter counters (no thread re-tally).
+        self.parent.absorb(self.child.report());
     }
 }
 
@@ -306,5 +487,80 @@ mod tests {
         m.touch(a, 0);
         m.touch(a, 0); // hit — free, untraced
         assert_eq!(m.stop_trace(), vec![(a, 1)]);
+    }
+
+    #[test]
+    fn hit_rate_tracks_pool_effectiveness() {
+        let m = CostModel::new(EmConfig::with_memory(64, 4));
+        assert_eq!(m.hit_rate(), 0.0);
+        m.touch(0, 0); // miss
+        m.touch(0, 0); // hit
+        m.touch(0, 0); // hit
+        m.touch(0, 1); // miss
+        let r = m.report();
+        assert_eq!(r.pool_hits, 2);
+        assert_eq!(r.pool_misses, 2);
+        assert_eq!(r.hit_rate(), 0.5);
+        m.reset();
+        assert_eq!(m.report().pool_hits, 0);
+        // Charges that bypass the pool never count as accesses.
+        let m2 = CostModel::new(EmConfig::new(64));
+        m2.touch(0, 0);
+        m2.charge_reads(5);
+        assert_eq!(m2.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn scoped_meter_rolls_up_on_drop() {
+        let parent = CostModel::new(EmConfig::with_memory(64, 4));
+        parent.charge_reads(2);
+        {
+            let trial = parent.scoped();
+            trial.touch(0, 0); // child miss
+            trial.touch(0, 0); // child hit
+            trial.charge_writes(3);
+            // Parent unchanged until the scope ends.
+            assert_eq!(parent.report().reads, 2);
+            assert_eq!(parent.report().writes, 0);
+        }
+        let r = parent.report();
+        assert_eq!(r.reads, 3);
+        assert_eq!(r.writes, 3);
+        assert_eq!(r.pool_hits, 1);
+        assert_eq!(r.pool_misses, 1);
+    }
+
+    #[test]
+    fn scoped_meters_have_isolated_pools() {
+        let parent = CostModel::new(EmConfig::with_memory(64, 2));
+        parent.touch(7, 0); // resident in the parent pool
+        let trial = parent.scoped();
+        trial.touch(7, 0); // cold in the child pool: a miss, one read
+        assert_eq!(trial.meter().report().reads, 1);
+    }
+
+    #[test]
+    fn thread_tally_accumulates_charges() {
+        let before = thread_charged();
+        let m = CostModel::new(EmConfig::new(64));
+        m.charge_reads(4);
+        m.charge_writes(2);
+        m.touch(0, 0);
+        let d = thread_charged().since(&before);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.writes, 2);
+        credit_thread(IoReport {
+            reads: 10,
+            ..IoReport::default()
+        });
+        assert_eq!(thread_charged().since(&before).reads, 15);
+    }
+
+    #[test]
+    fn cost_model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostModel>();
+        assert_send_sync::<IoReport>();
+        assert_send_sync::<ScopedMeter>();
     }
 }

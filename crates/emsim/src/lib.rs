@@ -36,5 +36,5 @@ pub mod sort;
 
 pub use block::BlockArray;
 pub use btree::BTree;
-pub use cost::{CostModel, EmConfig, IoReport};
+pub use cost::{credit_thread, thread_charged, CostModel, EmConfig, IoReport, ScopedMeter};
 pub use pool::LruPool;

@@ -24,6 +24,8 @@ pub struct LruPool {
     head: usize, // most recently used
     tail: usize, // least recently used
     free: Vec<usize>,
+    hits: u64,
+    misses: u64,
 }
 
 impl LruPool {
@@ -36,6 +38,8 @@ impl LruPool {
             head: NIL,
             tail: NIL,
             free: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -45,14 +49,17 @@ impl LruPool {
     /// miss the block is brought in, evicting the LRU block if full.
     pub fn access(&mut self, array_id: u64, block_idx: u64) -> bool {
         if self.capacity == 0 {
+            self.misses += 1;
             return false;
         }
         let key = (array_id, block_idx);
         if let Some(&slot) = self.map.get(&key) {
             self.unlink(slot);
             self.push_front(slot);
+            self.hits += 1;
             return true;
         }
+        self.misses += 1;
         if self.map.len() == self.capacity {
             let victim = self.tail;
             self.unlink(victim);
@@ -78,7 +85,26 @@ impl LruPool {
         false
     }
 
-    /// Evict everything.
+    /// `(hits, misses)` observed so far. Accesses while the pool has zero
+    /// capacity count as misses, matching their I/O cost.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Zero the hit/miss statistics (residency is untouched).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Fold another pool's statistics into this one (used when a scoped
+    /// child meter rolls up into its parent).
+    pub fn absorb_stats(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    /// Evict everything. Hit/miss statistics are kept.
     pub fn clear(&mut self) {
         self.map.clear();
         self.frames.clear();
@@ -173,6 +199,31 @@ mod tests {
         p.clear();
         assert!(p.is_empty());
         assert!(!p.access(0, 0));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut p = LruPool::new(2);
+        p.access(0, 1); // miss
+        p.access(0, 1); // hit
+        p.access(0, 2); // miss
+        p.access(0, 3); // miss, evicts 1
+        p.access(0, 1); // miss
+        assert_eq!(p.stats(), (1, 4));
+        p.absorb_stats(2, 3);
+        assert_eq!(p.stats(), (3, 7));
+        p.clear();
+        assert_eq!(p.stats(), (3, 7), "clear keeps stats");
+        p.reset_stats();
+        assert_eq!(p.stats(), (0, 0));
+    }
+
+    #[test]
+    fn zero_capacity_counts_misses() {
+        let mut p = LruPool::new(0);
+        p.access(0, 0);
+        p.access(0, 0);
+        assert_eq!(p.stats(), (0, 2));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn top_k_by_weight<T: Clone>(
         // Distinct weights (paper §1.1) make the threshold cut exact, but we
         // defensively truncate after sorting in case of ties.
     }
-    out.sort_by(|a, b| key(b).cmp(&key(a)));
+    out.sort_by_key(|e| std::cmp::Reverse(key(e)));
     out.truncate(k);
     model.charge_scan::<T>(out.len());
     out
@@ -61,10 +61,17 @@ pub fn kth_largest<T>(
             keys.sort_unstable_by(|a, b| b.cmp(a));
             return keys[k - 1];
         }
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let pivot = keys[(state % keys.len() as u64) as usize];
+        // Median-of-three pivot: one extra in-memory comparison per pass
+        // buys a much tighter pass-count distribution than a single random
+        // pivot (the partition costs I/Os; the pivot draw does not).
+        let draw = |state: &mut u64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keys[(*state % keys.len() as u64) as usize]
+        };
+        let (a, b, c) = (draw(&mut state), draw(&mut state), draw(&mut state));
+        let pivot = a.max(b).min(a.min(b).max(c)); // median of a, b, c
         model.charge_scan::<u64>(keys.len());
         let mut greater = Vec::new();
         let mut less = Vec::new();

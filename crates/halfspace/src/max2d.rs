@@ -40,7 +40,7 @@ pub struct WeightHullTree {
 impl WeightHullTree {
     /// Build over the given points.
     pub fn build(model: &CostModel, mut items: Vec<WPoint2>) -> Self {
-        items.sort_by(|a, b| b.weight.cmp(&a.weight));
+        items.sort_by_key(|e| std::cmp::Reverse(e.weight));
         for w in items.windows(2) {
             assert!(w[0].weight != w[1].weight, "weights must be distinct");
         }

@@ -49,7 +49,7 @@ impl<E: HasInterval> SegStabG<E> {
             &items,
             |e| (e.ilo(), e.ihi()),
             |m, mut bucket| {
-                bucket.sort_by(|a, b| b.weight().cmp(&a.weight()));
+                bucket.sort_by_key(|e| std::cmp::Reverse(e.weight()));
                 WeightRun {
                     arr: BlockArray::new(m, bucket),
                 }

@@ -208,7 +208,7 @@ impl<const D: usize, E: KdPoint<D>> KdTree<D, E> {
         }
         if items.len() <= leaf_cap {
             let mut entries: Vec<E> = items.to_vec();
-            entries.sort_by(|a, b| b.weight().cmp(&a.weight()));
+            entries.sort_by_key(|e| std::cmp::Reverse(e.weight()));
             self.nodes.push(KdNode {
                 lo,
                 hi,

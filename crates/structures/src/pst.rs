@@ -105,7 +105,7 @@ impl<K: Ord + Copy, E: Element> PrioritySearchTree<K, E> {
         let xlo = entries.first().unwrap().x;
         let xhi = entries.last().unwrap().x;
         if entries.len() <= self.leaf_cap {
-            entries.sort_by(|a, b| b.w.cmp(&a.w));
+            entries.sort_by_key(|e| std::cmp::Reverse(e.w));
             self.nodes.push(Node {
                 entries,
                 xlo,
@@ -132,7 +132,7 @@ impl<K: Ord + Copy, E: Element> PrioritySearchTree<K, E> {
                 rest.push(e);
             }
         }
-        top.sort_by(|a, b| b.w.cmp(&a.w));
+        top.sort_by_key(|e| std::cmp::Reverse(e.w));
         let mid = rest.len() / 2;
         let right_half = rest.split_off(mid);
         let left = if rest.is_empty() {

@@ -24,6 +24,10 @@ pub trait ReportingIndex<E, Q> {
     fn space_blocks(&self) -> u64;
     /// Number of elements indexed.
     fn len(&self) -> usize;
+    /// Whether the structure indexes no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Constructs reporting structures on arbitrary subsets.
