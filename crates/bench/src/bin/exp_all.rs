@@ -75,11 +75,12 @@ fn main() {
 
     let mut summary = Table::new(
         format!("exp_all summary — {scale:?}, {threads} thread(s)"),
-        &["experiment", "wall ms", "reads", "writes", "total I/Os"],
+        &["experiment", "status", "wall ms", "reads", "writes", "total I/Os"],
     );
     for o in &outcomes {
         summary.row_strings(vec![
             o.name.to_string(),
+            if o.error.is_some() { "PANIC".into() } else { "ok".into() },
             f(o.wall_ms),
             o.ios.reads.to_string(),
             o.ios.writes.to_string(),
@@ -88,6 +89,7 @@ fn main() {
     }
     summary.row_strings(vec![
         "TOTAL".into(),
+        if outcomes.iter().any(|o| o.error.is_some()) { "PANIC".into() } else { "ok".into() },
         f(total_wall_ms),
         outcomes.iter().map(|o| o.ios.reads).sum::<u64>().to_string(),
         outcomes.iter().map(|o| o.ios.writes).sum::<u64>().to_string(),
@@ -105,6 +107,20 @@ fn main() {
             }
         }
     }
+
+    // Partial results were printed and written above; a panicked experiment
+    // must still fail the run.
+    let failed: Vec<_> = outcomes.iter().filter(|o| o.error.is_some()).collect();
+    if !failed.is_empty() {
+        for o in &failed {
+            eprintln!(
+                "experiment {} panicked: {}",
+                o.name,
+                o.error.as_deref().unwrap_or("unknown")
+            );
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Hand-rolled JSON (the workspace has no serde): experiment name →
@@ -117,15 +133,35 @@ fn render_json(scale: Scale, threads: usize, total_wall_ms: f64, outcomes: &[Exp
     s.push_str("  \"experiments\": {\n");
     for (i, o) in outcomes.iter().enumerate() {
         s.push_str(&format!(
-            "    \"{}\": {{ \"wall_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {} }}{}\n",
+            "    \"{}\": {{ \"wall_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {}, \"error\": {} }}{}\n",
             o.name,
             o.wall_ms,
             o.ios.reads,
             o.ios.writes,
             o.ios.total(),
+            o.error.as_deref().map_or("null".to_string(), json_str),
             if i + 1 == outcomes.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");
     s
+}
+
+/// Quote a panic message as a JSON string literal.
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod faults;
 pub mod problems;
 pub mod reductions;
 pub mod sampling;

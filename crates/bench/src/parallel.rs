@@ -21,6 +21,7 @@
 //! workers' charges back to the spawning thread so the attribution
 //! survives nested fan-out.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -60,6 +61,7 @@ pub fn all_experiments() -> &'static [Experiment] {
         Experiment { name: "range2d", run: experiments::ablation::exp_range2d },
         Experiment { name: "dominance_substrates", run: experiments::ablation::exp_dominance_substrates },
         Experiment { name: "space", run: experiments::space::exp_space },
+        Experiment { name: "faults", run: experiments::faults::exp_faults },
     ]
 }
 
@@ -69,12 +71,28 @@ pub fn all_experiments() -> &'static [Experiment] {
 pub struct ExpOutcome {
     /// Registry name.
     pub name: &'static str,
-    /// The experiment's buffered results table (not yet printed).
+    /// The experiment's buffered results table (not yet printed; empty when
+    /// the experiment panicked).
     pub table: Table,
     /// Wall-clock of this experiment alone, in milliseconds.
     pub wall_ms: f64,
     /// Simulated I/Os charged while it ran.
     pub ios: IoReport,
+    /// The panic message, if the experiment panicked instead of returning.
+    /// A panicking experiment never takes down the run: the other entries
+    /// still complete and report, and `exp_all` exits nonzero.
+    pub error: Option<String>,
+}
+
+/// Render a `catch_unwind` payload as the panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Worker count: `BENCH_THREADS` env var if set, else
@@ -104,14 +122,21 @@ pub fn run_experiments(exps: &[Experiment], scale: Scale, threads: usize) -> Vec
                 let exp = &exps[i];
                 let io_before = emsim::thread_charged();
                 let start = Instant::now();
-                let table = (exp.run)(scale);
+                let (table, error) = match catch_unwind(AssertUnwindSafe(|| (exp.run)(scale))) {
+                    Ok(table) => (table, None),
+                    Err(payload) => (
+                        Table::new(format!("{} (panicked)", exp.name), &[]),
+                        Some(panic_message(payload)),
+                    ),
+                };
                 let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 let ios = emsim::thread_charged().since(&io_before);
-                *slots[i].lock().expect("result slot poisoned") = Some(ExpOutcome {
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(ExpOutcome {
                     name: exp.name,
                     table,
                     wall_ms,
                     ios,
+                    error,
                 });
             });
         }
@@ -120,7 +145,7 @@ pub fn run_experiments(exps: &[Experiment], scale: Scale, threads: usize) -> Vec
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("worker exited without storing a result")
         })
         .collect()
@@ -210,12 +235,37 @@ mod tests {
     }
 
     #[test]
+    fn panicking_experiment_is_captured_not_fatal() {
+        fn boom(_: Scale) -> Table {
+            panic!("injected failure")
+        }
+        fn fine(_: Scale) -> Table {
+            let mut t = Table::new("ok", &["x"]);
+            t.row_strings(vec!["1".into()]);
+            t
+        }
+        let exps = [
+            Experiment { name: "boom", run: boom },
+            Experiment { name: "fine", run: fine },
+        ];
+        let out = run_experiments(&exps, Scale::Smoke, 2);
+        assert_eq!(out.len(), 2);
+        assert!(
+            out[0].error.as_deref().unwrap_or_default().contains("injected failure"),
+            "panic message must be captured"
+        );
+        assert!(out[0].table.is_empty());
+        assert!(out[1].error.is_none());
+        assert_eq!(out[1].table.len(), 1);
+    }
+
+    #[test]
     fn registry_is_complete_and_uniquely_named() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "duplicate experiment names");
+        assert_eq!(names.len(), 19, "duplicate experiment names");
     }
 }

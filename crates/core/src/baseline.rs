@@ -11,9 +11,12 @@
 //!   (Requires predicate evaluation, so it is generic over a matcher
 //!   closure — unlike the reductions, which are black-box.)
 
-use emsim::{select, BlockArray, CostModel};
+use emsim::{select, BlockArray, CostModel, EmError, Retrier};
 
-use crate::traits::{Element, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKIndex, Weight};
+use crate::traits::{
+    Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer, TopKIndex,
+    Weight,
+};
 
 /// The binary-search reduction of \[28\] (eqs. (1)–(2)).
 pub struct BinarySearchTopK<E, Q, PB>
@@ -56,6 +59,47 @@ where
         let mut out = Vec::new();
         let m = self.pri.query_monitored(q, tau, k, &mut out);
         (out.len(), m)
+    }
+
+    /// Fallible `count_at_least`.
+    fn try_count_at_least(
+        &self,
+        q: &Q,
+        tau: Weight,
+        k: usize,
+        retrier: &Retrier,
+    ) -> Result<usize, EmError> {
+        let mut out = Vec::new();
+        self.pri.try_query_monitored(q, tau, k, retrier, &mut out)?;
+        Ok(out.len())
+    }
+
+    /// The binary-search query with every probe fallible; any unrecoverable
+    /// fault aborts the search (the caller falls back to one exact full
+    /// prioritized query).
+    fn try_binary_search(&self, q: &Q, k: usize, retrier: &Retrier) -> Result<Vec<E>, EmError> {
+        let n = self.weights.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        let w_lo = *self.weights.try_get(0, retrier)?;
+        if self.try_count_at_least(q, w_lo, k, retrier)? < k {
+            let mut all = Vec::new();
+            self.pri.try_query(q, 0, retrier, &mut all)?;
+            return Ok(select::top_k_by_weight(&self.model, &all, k, Element::weight));
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let w_mid = *self.weights.try_get(mid, retrier)?;
+            if self.try_count_at_least(q, w_mid, k, retrier)? >= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let tau = *self.weights.try_get(lo, retrier)?;
+        let mut s = Vec::new();
+        self.pri.try_query(q, tau, retrier, &mut s)?;
+        Ok(select::top_k_by_weight(&self.model, &s, k, Element::weight))
     }
 }
 
@@ -105,6 +149,41 @@ where
 
     fn space_blocks(&self) -> u64 {
         self.pri.space_blocks() + self.weights.blocks()
+    }
+
+    fn try_query_topk(&self, q: &Q, k: usize, retrier: &Retrier) -> Result<TopKAnswer<E>, EmError> {
+        if k == 0 || self.weights.is_empty() {
+            return Ok(TopKAnswer::Exact(Vec::new()));
+        }
+        let mut mark = FaultMark::default();
+        match self.try_binary_search(q, k, retrier) {
+            Ok(items) => Ok(TopKAnswer::Exact(items)),
+            Err(_) => {
+                // A probe (weight read or counting query) stayed unreadable.
+                // One exact full prioritized query answers regardless of τ*;
+                // if that fails too, degrade to its partial prefix.
+                mark.note(&self.model);
+                let mut s = Vec::new();
+                match self.pri.try_query(q, 0, retrier, &mut s) {
+                    Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
+                        &self.model,
+                        &s,
+                        k,
+                        Element::weight,
+                    ))),
+                    Err(e) => {
+                        if s.is_empty() {
+                            Err(e)
+                        } else {
+                            Ok(TopKAnswer::Degraded {
+                                items: select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                                extra_ios: mark.extra(&self.model),
+                            })
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -161,6 +240,40 @@ where
 
     fn space_blocks(&self) -> u64 {
         self.data.blocks()
+    }
+
+    fn try_query_topk(&self, q: &Q, k: usize, retrier: &Retrier) -> Result<TopKAnswer<E>, EmError> {
+        if k == 0 {
+            return Ok(TopKAnswer::Exact(Vec::new()));
+        }
+        let mut candidates = Vec::new();
+        match self.data.try_scan_while(0, self.data.len(), retrier, |e| {
+            if (self.matches)(q, e) {
+                candidates.push(e.clone());
+            }
+            true
+        }) {
+            Ok(_) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
+                &self.model,
+                &candidates,
+                k,
+                Element::weight,
+            ))),
+            Err((_, e)) => {
+                // The scan died at an unreadable block; everything gathered
+                // before it is genuine. Nothing to retry — the scan has no
+                // redundant structure to fall back on.
+                if candidates.is_empty() {
+                    return Err(e);
+                }
+                let mark = self.model.report().total();
+                let items = select::top_k_by_weight(&self.model, &candidates, k, Element::weight);
+                Ok(TopKAnswer::Degraded {
+                    items,
+                    extra_ios: self.model.report().total().saturating_sub(mark),
+                })
+            }
+        }
     }
 }
 
@@ -239,6 +352,82 @@ mod tests {
         let reads = model.report().reads;
         // 2 words per elem → 32 per block → 2000 blocks; selection adds ~2x.
         assert!((2_000..=9_000).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn try_query_topk_is_exact_under_inert_plan() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let items = mk_items(1_500, 31);
+        let bs = BinarySearchTopK::build(&model, &PrefixBuilder, items.clone());
+        let sc = ScanTopK::build(&model, items.clone(), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        let retrier = Retrier::default();
+        for &qx in &[0u64, 750, 1_499] {
+            for &k in &[1usize, 12, 400] {
+                let q = PrefixQuery { x_max: qx };
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                for got in [
+                    bs.try_query_topk(&q, k, &retrier).unwrap(),
+                    sc.try_query_topk(&q, k, &retrier).unwrap(),
+                ] {
+                    assert!(got.is_exact(), "q={qx} k={k}");
+                    assert_eq!(
+                        got.items().iter().map(|e| e.w).collect::<Vec<_>>(),
+                        want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                        "q={qx} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_answers_are_exact_or_flagged() {
+        use crate::traits::TopKAnswer;
+        let model = CostModel::new(emsim::EmConfig::new(16));
+        let items = mk_items(2_000, 33);
+        let bs = BinarySearchTopK::build(&model, &PrefixBuilder, items.clone());
+        let sc = ScanTopK::build(&model, items.clone(), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        let retrier = Retrier::new(2);
+        let (mut exact, mut faulted) = (0u32, 0u32);
+        let mut check = |answer: Result<TopKAnswer<ToyElem>, emsim::EmError>, qx: u64, k: usize| {
+            match answer {
+                Ok(TopKAnswer::Exact(got)) => {
+                    exact += 1;
+                    let want = brute::top_k(&items, |e| e.x <= qx, k);
+                    assert_eq!(
+                        got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                        want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                        "q={qx} k={k}"
+                    );
+                }
+                Ok(TopKAnswer::Degraded { items: got, .. }) => {
+                    faulted += 1;
+                    assert!(got.windows(2).all(|w| w[0].w > w[1].w));
+                    for e in &got {
+                        assert!(e.x <= qx, "degraded item must satisfy q");
+                        assert!(items.iter().any(|i| i.w == e.w && i.x == e.x));
+                    }
+                }
+                Err(_) => faulted += 1,
+            }
+        };
+        for seed in 0..10u64 {
+            model.set_fault_plan(emsim::FaultPlan::chaos(seed, 0.01));
+            for &qx in &[40u64, 1_000, 1_999] {
+                for &k in &[1usize, 20, 500] {
+                    let q = PrefixQuery { x_max: qx };
+                    check(bs.try_query_topk(&q, k, &retrier), qx, k);
+                    check(sc.try_query_topk(&q, k, &retrier), qx, k);
+                }
+            }
+        }
+        model.set_fault_plan(emsim::FaultPlan::none());
+        assert!(exact > 0, "some queries should survive the chaos plan");
+        assert!(faulted > 0, "chaos should surface at least one fault");
     }
 
     #[test]

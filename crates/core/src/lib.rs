@@ -40,6 +40,15 @@
 //! cost only. Theorem 2's round procedure is self-verifying in the paper
 //! already (a round succeeds only when the fetched prefix provably contains
 //! the top-k), and our implementation follows it literally.
+//!
+//! Separately, the reductions survive *injected I/O faults* (see
+//! [`emsim::fault`]): the `try_query_topk` paths retry transient read
+//! errors with a bounded [`Retrier`] and, when a structure stays
+//! unreadable, degrade along an explicit ladder — coarser core-set level,
+//! exact full prioritized query, partial visitor prefix — returning
+//! [`TopKAnswer::Degraded`] rather than panicking or silently dropping
+//! results. `Ok`-and-`Exact` answers match the fault-free output
+//! bit-for-bit; this is asserted by the chaos experiments in `topk-bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,10 +67,10 @@ pub mod traits;
 pub use baseline::{BinarySearchTopK, ScanTopK};
 pub use coreset::{core_set, CoreSetParams};
 pub use counting::{CountingTopK, RepCntBuilder, RepCntIndex, SampledCounter};
-pub use emsim::{CostModel, EmConfig, IoReport};
+pub use emsim::{CostModel, EmConfig, EmError, FaultPlan, IoReport, Retrier};
 pub use theorem1::{Theorem1Params, WorstCaseTopK};
 pub use theorem2::{ExpectedTopK, Theorem2Params};
 pub use traits::{
     log_b, DynamicIndex, Element, MaxBuilder, MaxIndex, Monitored, PrioritizedBuilder,
-    PrioritizedIndex, TopKIndex, Weight,
+    PrioritizedIndex, TopKAnswer, TopKIndex, Weight,
 };

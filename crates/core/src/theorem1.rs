@@ -35,12 +35,14 @@
 //! verification fails, so the structure is always exact; the sampling
 //! affects only the (expected, rare) cost of the fallback.
 
-use emsim::{select, BlockArray, CostModel};
+use emsim::{select, BlockArray, CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::coreset::{core_set, CoreSetParams};
-use crate::traits::{Element, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKIndex};
+use crate::traits::{
+    Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer, TopKIndex,
+};
 
 /// Tunables of the Theorem 1 construction.
 #[derive(Clone, Copy, Debug)]
@@ -155,6 +157,117 @@ impl<I> Hierarchy<I> {
                 let mut all = Vec::new();
                 idx.query(q, 0, &mut all);
                 select::top_k_by_weight(model, &all, self.f, Element::weight)
+            }
+        }
+    }
+
+    /// Fallible top-f on level `i`, retrying transient faults with
+    /// `retrier`. Returns `(items, exact)`; `exact = false` means a fault
+    /// forced a degraded answer (coarser-level result or partial prefix).
+    ///
+    /// Degradation ladder when level `i` stays unreadable: (1) the coarser
+    /// core-set `Rᵢ₊₁` — its top-f is genuine but may miss elements of
+    /// `q(Rᵢ)`; (2) the partial visitor prefix collected before the fault.
+    /// `Err` only when both are empty. The plan is deterministic per
+    /// (block, attempt), so re-reading a level that already exhausted its
+    /// retries would fail identically — the ladder never retries a level.
+    fn try_query_topf<E, Q>(
+        &self,
+        model: &CostModel,
+        q: &Q,
+        i: usize,
+        retrier: &Retrier,
+        mark: &mut FaultMark,
+    ) -> Result<(Vec<E>, bool), EmError>
+    where
+        E: Element,
+        I: PrioritizedIndex<E, Q>,
+    {
+        let idx = &self.levels[i];
+        let mut out = Vec::new();
+        match idx.try_query_monitored(q, 0, 4 * self.f, retrier, &mut out) {
+            Ok(Monitored::Complete) => Ok((
+                select::top_k_by_weight(model, &out, self.f, Element::weight),
+                true,
+            )),
+            Ok(Monitored::Truncated) => {
+                // Pivot path, as in `query_topf`. A degraded pivot is still
+                // sound: whatever τ we obtain, a Complete τ-query with ≥ f
+                // results is exactly {e ∈ q(Rᵢ) : w(e) ≥ τ} ⊇ top-f.
+                if i + 1 < self.levels.len() {
+                    if let Ok((rec, _)) = self.try_query_topf(model, q, i + 1, retrier, mark) {
+                        let r = self.pivot_rank[i];
+                        if rec.len() >= r {
+                            let tau = rec[r - 1].weight();
+                            let mut s = Vec::new();
+                            match idx.try_query_monitored(q, tau, 4 * self.f, retrier, &mut s) {
+                                Ok(Monitored::Complete) if s.len() >= self.f => {
+                                    return Ok((
+                                        select::top_k_by_weight(model, &s, self.f, Element::weight),
+                                        true,
+                                    ));
+                                }
+                                // Lemma 2 failure — exact fallback below.
+                                Ok(_) => {}
+                                Err(_) => {
+                                    // Level i went unreadable mid-query; the
+                                    // full fallback reads a superset of the
+                                    // same blocks, so degrade to the larger
+                                    // of the two prefixes we hold.
+                                    mark.note(model);
+                                    let best = if s.len() > out.len() { s } else { out };
+                                    return Ok((
+                                        select::top_k_by_weight(
+                                            model,
+                                            &best,
+                                            self.f,
+                                            Element::weight,
+                                        ),
+                                        false,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Verified (exact) fallback: full prioritized query on Rᵢ.
+                let mut all = Vec::new();
+                match idx.try_query(q, 0, retrier, &mut all) {
+                    Ok(()) => Ok((
+                        select::top_k_by_weight(model, &all, self.f, Element::weight),
+                        true,
+                    )),
+                    Err(e) => {
+                        mark.note(model);
+                        let best = if all.len() > out.len() { all } else { out };
+                        if best.is_empty() {
+                            Err(e)
+                        } else {
+                            Ok((
+                                select::top_k_by_weight(model, &best, self.f, Element::weight),
+                                false,
+                            ))
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // Level i is unreadable from τ = 0: fall back to the coarser
+                // core-set, then to the partial prefix.
+                mark.note(model);
+                if i + 1 < self.levels.len() {
+                    if let Ok((rec, _)) = self.try_query_topf(model, q, i + 1, retrier, mark) {
+                        return Ok((rec, false));
+                    }
+                }
+                if out.is_empty() {
+                    Err(e)
+                } else {
+                    Ok((
+                        select::top_k_by_weight(model, &out, self.f, Element::weight),
+                        false,
+                    ))
+                }
             }
         }
     }
@@ -336,6 +449,122 @@ where
         out.extend(select::top_k_by_weight(&self.model, &all, k, Element::weight));
     }
 
+    /// Exact full prioritized query on `D` + k-selection, degrading to the
+    /// partial prefix when `D` stays unreadable.
+    fn try_full_exact(
+        &self,
+        q: &Q,
+        k: usize,
+        retrier: &Retrier,
+        mark: &mut FaultMark,
+    ) -> Result<(Vec<E>, bool), EmError> {
+        let mut s = Vec::new();
+        match self.d_structure().try_query(q, 0, retrier, &mut s) {
+            Ok(()) => Ok((
+                select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                true,
+            )),
+            Err(e) => {
+                mark.note(&self.model);
+                if s.is_empty() {
+                    Err(e)
+                } else {
+                    Ok((
+                        select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                        false,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fallible counterpart of `query_large_k`. Same pivot logic; on faults
+    /// it degrades to the rung's hierarchy (a separately-stored core-set of
+    /// `D`) or to the largest partial prefix collected.
+    fn try_query_large_k(
+        &self,
+        q: &Q,
+        k: usize,
+        retrier: &Retrier,
+        mark: &mut FaultMark,
+    ) -> Result<(Vec<E>, bool), EmError> {
+        let n = self.data.len();
+        if 2 * k >= n {
+            return self.try_full_exact(q, k, retrier, mark);
+        }
+        let rung = match self.ladder.iter().find(|r| r.k_cap >= k) {
+            Some(r) => r,
+            None => return self.try_full_exact(q, k, retrier, mark),
+        };
+        let cap = rung.k_cap;
+        let d = self.d_structure();
+
+        let mut s1 = Vec::new();
+        match d.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1) {
+            Ok(Monitored::Complete) => Ok((
+                select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                true,
+            )),
+            Ok(Monitored::Truncated) => {
+                // Pivot from the rung's hierarchy; a degraded pivot is sound
+                // (see `try_query_topf`).
+                if let Ok((rec, _)) =
+                    rung.hierarchy
+                        .try_query_topf(&self.model, q, 0, retrier, mark)
+                {
+                    if rec.len() >= rung.pivot_rank {
+                        let tau = rec[rung.pivot_rank - 1].weight();
+                        let mut s = Vec::new();
+                        match d.try_query_monitored(q, tau, 4 * cap, retrier, &mut s) {
+                            Ok(Monitored::Complete) if s.len() >= k => {
+                                return Ok((
+                                    select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                                    true,
+                                ));
+                            }
+                            Ok(_) => {}
+                            Err(_) => {
+                                mark.note(&self.model);
+                                let best = if s.len() > s1.len() { s } else { s1 };
+                                return Ok((
+                                    select::top_k_by_weight(&self.model, &best, k, Element::weight),
+                                    false,
+                                ));
+                            }
+                        }
+                    }
+                }
+                match self.try_full_exact(q, k, retrier, mark) {
+                    Err(_) if !s1.is_empty() => Ok((
+                        select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                        false,
+                    )),
+                    other => other,
+                }
+            }
+            Err(e) => {
+                // D unreadable from τ = 0: degrade to the rung's hierarchy
+                // (at most f ≤ k elements, but genuine), then to the prefix.
+                mark.note(&self.model);
+                if let Ok((rec, _)) =
+                    rung.hierarchy
+                        .try_query_topf(&self.model, q, 0, retrier, mark)
+                {
+                    if !rec.is_empty() {
+                        return Ok((rec, false));
+                    }
+                }
+                if s1.is_empty() {
+                    Err(e)
+                } else {
+                    Ok((
+                        select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                        false,
+                    ))
+                }
+            }
+        }
+    }
 }
 
 impl<E, Q, PB> TopKIndex<E, Q> for WorstCaseTopK<E, Q, PB>
@@ -365,6 +594,33 @@ where
                 .iter()
                 .map(|r| r.hierarchy.space_blocks::<E, Q>())
                 .sum::<u64>()
+    }
+
+    fn try_query_topk(&self, q: &Q, k: usize, retrier: &Retrier) -> Result<TopKAnswer<E>, EmError> {
+        if k == 0 || self.data.is_empty() {
+            return Ok(TopKAnswer::Exact(Vec::new()));
+        }
+        let mut mark = FaultMark::default();
+        let res = if k <= self.f {
+            self.base
+                .try_query_topf(&self.model, q, 0, retrier, &mut mark)
+                .map(|(mut items, exact)| {
+                    items.truncate(k);
+                    (items, exact)
+                })
+        } else {
+            self.try_query_large_k(q, k, retrier, &mut mark)
+        };
+        res.map(|(items, exact)| {
+            if exact {
+                TopKAnswer::Exact(items)
+            } else {
+                TopKAnswer::Degraded {
+                    items,
+                    extra_ios: mark.extra(&self.model),
+                }
+            }
+        })
     }
 }
 
@@ -469,6 +725,87 @@ mod tests {
             "space {} vs n-blocks {}",
             t1.space_blocks(),
             n_blocks
+        );
+    }
+
+    #[test]
+    fn try_query_topk_is_exact_under_inert_plan() {
+        let model = CostModel::new(emsim::EmConfig::new(64));
+        let items = mk_items(2_000, 13);
+        let t1 = WorstCaseTopK::build(
+            &model,
+            &PrefixBuilder,
+            items.clone(),
+            Theorem1Params::new(1.0).with_seed(7),
+        );
+        let retrier = Retrier::default();
+        for &qx in &[0u64, 700, 1_999] {
+            for &k in &[1usize, 9, 130, 1_500] {
+                let q = PrefixQuery { x_max: qx };
+                let mut want = Vec::new();
+                t1.query_topk(&q, k, &mut want);
+                let got = t1.try_query_topk(&q, k, &retrier).unwrap();
+                assert!(got.is_exact(), "q={qx} k={k}");
+                assert_eq!(
+                    got.items().iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    "q={qx} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_answers_are_exact_or_flagged() {
+        let model = CostModel::new(emsim::EmConfig::new(16));
+        let items = mk_items(3_000, 11);
+        let t1 = WorstCaseTopK::build(
+            &model,
+            &PrefixBuilder,
+            items.clone(),
+            Theorem1Params::new(1.0).with_seed(5),
+        );
+        let retrier = Retrier::new(2);
+        let (mut exact, mut degraded, mut errors) = (0u32, 0u32, 0u32);
+        for seed in 0..10u64 {
+            model.set_fault_plan(emsim::FaultPlan::chaos(seed, 0.01));
+            for &qx in &[50u64, 1_500, 2_999] {
+                for &k in &[1usize, 8, 64, 1_000, 2_000] {
+                    let q = PrefixQuery { x_max: qx };
+                    match t1.try_query_topk(&q, k, &retrier) {
+                        Ok(crate::traits::TopKAnswer::Exact(got)) => {
+                            exact += 1;
+                            let want = brute::top_k(&items, |e| e.x <= qx, k);
+                            assert_eq!(
+                                got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                                want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                                "seed={seed} q={qx} k={k}"
+                            );
+                        }
+                        Ok(crate::traits::TopKAnswer::Degraded { items: got, .. }) => {
+                            degraded += 1;
+                            assert!(
+                                got.windows(2).all(|w| w[0].w > w[1].w),
+                                "degraded answer must stay sorted (seed={seed} q={qx} k={k})"
+                            );
+                            assert!(got.len() <= k);
+                            for e in &got {
+                                assert!(e.x <= qx, "degraded item must satisfy q");
+                                assert!(
+                                    items.iter().any(|i| i.w == e.w && i.x == e.x),
+                                    "degraded item must be genuine"
+                                );
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+            }
+        }
+        assert!(exact > 0, "some queries should survive the chaos plan");
+        assert!(
+            degraded + errors > 0,
+            "chaos should surface at least one fault (exact={exact})"
         );
     }
 

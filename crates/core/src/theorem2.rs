@@ -37,13 +37,13 @@
 
 use std::collections::HashMap;
 
-use emsim::{select, CostModel};
+use emsim::{select, CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::traits::{
-    DynamicIndex, Element, MaxBuilder, MaxIndex, Monitored, PrioritizedBuilder, PrioritizedIndex,
-    TopKIndex, Weight,
+    DynamicIndex, Element, FaultMark, MaxBuilder, MaxIndex, Monitored, PrioritizedBuilder,
+    PrioritizedIndex, TopKAnswer, TopKIndex, Weight,
 };
 
 /// Tunables of the Theorem 2 construction.
@@ -226,6 +226,90 @@ where
         }
         None
     }
+
+    /// Fallible `round`: any unrecoverable fault inside the round makes it
+    /// fail (return `None`) and the query escalates `j` — the paper's own
+    /// escalation handles structure loss for free. A `Some` answer is
+    /// always exact: the round's self-verification (`Complete` fetch with
+    /// `≥ k` results) holds regardless of how the pivot was obtained.
+    fn try_round(
+        &self,
+        q: &Q,
+        k: usize,
+        j: usize,
+        retrier: &Retrier,
+        mark: &mut FaultMark,
+    ) -> Option<Vec<E>> {
+        let cap = self.ks[j].ceil() as usize;
+
+        let mut s1 = Vec::new();
+        match self.pri.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1) {
+            Ok(Monitored::Complete) => {
+                return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+            }
+            Ok(Monitored::Truncated) => {}
+            Err(_) => {
+                mark.note(&self.model);
+                return None;
+            }
+        }
+
+        let e = match self.maxes[j].try_query_max(q, retrier) {
+            Ok(e) => e,
+            Err(_) => {
+                mark.note(&self.model);
+                return None;
+            }
+        };
+        let tau = match &e {
+            Some(e) => e.weight(),
+            None => return None,
+        };
+
+        let mut s = Vec::new();
+        match self.pri.try_query_monitored(q, tau, 4 * cap, retrier, &mut s) {
+            Ok(Monitored::Complete) if s.len() >= k => {
+                Some(select::top_k_by_weight(&self.model, &s, k, Element::weight))
+            }
+            Ok(_) => None,
+            Err(_) => {
+                mark.note(&self.model);
+                None
+            }
+        }
+    }
+
+    /// Fallible `naive`: exact when the full prioritized query survives
+    /// (even if earlier rounds lost structures), degraded to the partial
+    /// visitor prefix when it doesn't, `Err` when nothing was recovered.
+    fn try_naive(
+        &self,
+        q: &Q,
+        k: usize,
+        retrier: &Retrier,
+        mark: &mut FaultMark,
+    ) -> Result<TopKAnswer<E>, EmError> {
+        let mut s = Vec::new();
+        match self.pri.try_query(q, 0, retrier, &mut s) {
+            Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
+                &self.model,
+                &s,
+                k,
+                Element::weight,
+            ))),
+            Err(e) => {
+                mark.note(&self.model);
+                if s.is_empty() {
+                    Err(e)
+                } else {
+                    Ok(TopKAnswer::Degraded {
+                        items: select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                        extra_ios: mark.extra(&self.model),
+                    })
+                }
+            }
+        }
+    }
 }
 
 /// The freshly built components shared by `build` and `rebuild`.
@@ -358,6 +442,30 @@ where
         self.pri.space_blocks()
             + self.maxes.iter().map(|m| m.space_blocks()).sum::<u64>()
             + data_blocks
+    }
+
+    fn try_query_topk(&self, q: &Q, k: usize, retrier: &Retrier) -> Result<TopKAnswer<E>, EmError> {
+        if k == 0 || self.data.is_empty() {
+            return Ok(TopKAnswer::Exact(Vec::new()));
+        }
+        let n = self.data.len();
+        let mut mark = FaultMark::default();
+
+        let k_eff = match self.ks.first() {
+            Some(&k1) => (k1.ceil() as usize).max(k),
+            None => return self.try_naive(q, k, retrier, &mut mark),
+        };
+        if k_eff as f64 > *self.ks.last().unwrap() || k_eff >= n {
+            return self.try_naive(q, k, retrier, &mut mark);
+        }
+
+        let i = self.ks.partition_point(|&kj| kj < k_eff as f64);
+        for j in i..self.ks.len() {
+            if let Some(result) = self.try_round(q, k, j, retrier, &mut mark) {
+                return Ok(TopKAnswer::Exact(result));
+            }
+        }
+        self.try_naive(q, k, retrier, &mut mark)
     }
 }
 
@@ -604,6 +712,87 @@ mod tests {
         let mut got = Vec::new();
         t2.query_topk(&PrefixQuery { x_max: u64::MAX }, 10, &mut got);
         assert_eq!(got.len(), 10.min(t2.len()));
+    }
+
+    #[test]
+    fn try_query_topk_is_exact_under_inert_plan() {
+        let model = CostModel::new(EmConfig::new(64));
+        let items = mk_items(5_000, 9);
+        let t2 = ExpectedTopK::build(
+            &model,
+            PrefixBuilder,
+            PrefixMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        let retrier = Retrier::default();
+        for &qx in &[0u64, 2_500, 4_999] {
+            for &k in &[1usize, 5, 100, 1_000] {
+                let q = PrefixQuery { x_max: qx };
+                let got = t2.try_query_topk(&q, k, &retrier).unwrap();
+                assert!(got.is_exact(), "q={qx} k={k}");
+                let want = brute::top_k(&items, |e| e.x <= qx, k);
+                assert_eq!(
+                    got.items().iter().map(|e| e.w).collect::<Vec<_>>(),
+                    want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                    "q={qx} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_answers_are_exact_or_flagged() {
+        use crate::traits::TopKAnswer;
+        let model = CostModel::new(EmConfig::new(16));
+        let items = mk_items(4_000, 41);
+        let t2 = ExpectedTopK::build(
+            &model,
+            PrefixBuilder,
+            PrefixMaxBuilder,
+            items.clone(),
+            Theorem2Params::default(),
+        );
+        let retrier = Retrier::new(2);
+        let (mut exact, mut degraded, mut errors) = (0u32, 0u32, 0u32);
+        for seed in 0..10u64 {
+            model.set_fault_plan(emsim::FaultPlan::chaos(seed, 0.01));
+            for &qx in &[60u64, 2_000, 3_999] {
+                for &k in &[1usize, 16, 200, 2_500] {
+                    let q = PrefixQuery { x_max: qx };
+                    match t2.try_query_topk(&q, k, &retrier) {
+                        Ok(TopKAnswer::Exact(got)) => {
+                            exact += 1;
+                            let want = brute::top_k(&items, |e| e.x <= qx, k);
+                            assert_eq!(
+                                got.iter().map(|e| e.w).collect::<Vec<_>>(),
+                                want.iter().map(|e| e.w).collect::<Vec<_>>(),
+                                "seed={seed} q={qx} k={k}"
+                            );
+                        }
+                        Ok(TopKAnswer::Degraded { items: got, .. }) => {
+                            degraded += 1;
+                            assert!(got.windows(2).all(|w| w[0].w > w[1].w));
+                            assert!(got.len() <= k);
+                            for e in &got {
+                                assert!(e.x <= qx, "degraded item must satisfy q");
+                                assert!(
+                                    items.iter().any(|i| i.w == e.w && i.x == e.x),
+                                    "degraded item must be genuine"
+                                );
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+            }
+        }
+        model.set_fault_plan(emsim::FaultPlan::none());
+        assert!(exact > 0, "some queries should survive the chaos plan");
+        assert!(
+            degraded + errors > 0,
+            "chaos should surface at least one fault (exact={exact})"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   output-sensitive, which is fine for correctness tests (and is honestly
 //!   reflected in its `query_cost`).
 
-use emsim::{BlockArray, CostModel};
+use emsim::{BlockArray, CostModel, EmError, Retrier};
 
 use crate::traits::{
     log_b, Element, MaxBuilder, MaxIndex, PrioritizedBuilder, PrioritizedIndex, Weight,
@@ -72,6 +72,27 @@ impl WeightSortedArray {
             f(e)
         });
     }
+
+    /// Fallible twin of [`WeightSortedArray::for_each_desc_while`]: reads
+    /// through the `try_*` substrate accessors so injected faults surface.
+    /// On `Err`, `f` has received the (weight-descending, hence correct)
+    /// prefix up to the failing block.
+    fn try_for_each_desc_while(
+        &self,
+        tau: Weight,
+        retrier: &Retrier,
+        mut f: impl FnMut(&ToyElem) -> bool,
+    ) -> Result<(), EmError> {
+        self.arr
+            .try_scan_while(0, self.arr.len(), retrier, |e| {
+                if e.w < tau {
+                    return false;
+                }
+                f(e)
+            })
+            .map(|_| ())
+            .map_err(|(_, e)| e)
+    }
 }
 
 /// Prioritized index for the trivial predicate: report the weight-descending
@@ -81,6 +102,15 @@ pub struct AllIndex(WeightSortedArray);
 impl PrioritizedIndex<ToyElem, AllQuery> for AllIndex {
     fn for_each_at_least(&self, _q: &AllQuery, tau: Weight, visit: &mut dyn FnMut(&ToyElem) -> bool) {
         self.0.for_each_desc_while(tau, |e| visit(e));
+    }
+    fn try_for_each_at_least(
+        &self,
+        _q: &AllQuery,
+        tau: Weight,
+        retrier: &Retrier,
+        visit: &mut dyn FnMut(&ToyElem) -> bool,
+    ) -> Result<(), EmError> {
+        self.0.try_for_each_desc_while(tau, retrier, |e| visit(e))
     }
     fn space_blocks(&self) -> u64 {
         self.0.arr.blocks()
@@ -96,6 +126,13 @@ impl MaxIndex<ToyElem, AllQuery> for AllIndex {
             None
         } else {
             Some(*self.0.arr.get(0))
+        }
+    }
+    fn try_query_max(&self, _q: &AllQuery, retrier: &Retrier) -> Result<Option<ToyElem>, EmError> {
+        if self.0.arr.is_empty() {
+            Ok(None)
+        } else {
+            self.0.arr.try_get(0, retrier).map(|e| Some(*e))
         }
     }
     fn space_blocks(&self) -> u64 {
@@ -155,6 +192,21 @@ impl PrioritizedIndex<ToyElem, PrefixQuery> for PrefixIndex {
             }
         });
     }
+    fn try_for_each_at_least(
+        &self,
+        q: &PrefixQuery,
+        tau: Weight,
+        retrier: &Retrier,
+        visit: &mut dyn FnMut(&ToyElem) -> bool,
+    ) -> Result<(), EmError> {
+        self.0.try_for_each_desc_while(tau, retrier, |e| {
+            if e.x <= q.x_max {
+                visit(e)
+            } else {
+                true
+            }
+        })
+    }
     fn space_blocks(&self) -> u64 {
         self.0.arr.blocks()
     }
@@ -175,6 +227,18 @@ impl MaxIndex<ToyElem, PrefixQuery> for PrefixIndex {
             }
         });
         found
+    }
+    fn try_query_max(&self, q: &PrefixQuery, retrier: &Retrier) -> Result<Option<ToyElem>, EmError> {
+        let mut found = None;
+        self.0.try_for_each_desc_while(0, retrier, |e| {
+            if e.x <= q.x_max {
+                found = Some(*e);
+                false
+            } else {
+                true
+            }
+        })?;
+        Ok(found)
     }
     fn space_blocks(&self) -> u64 {
         self.0.arr.blocks()

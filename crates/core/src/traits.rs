@@ -13,7 +13,7 @@
 //! structures *on arbitrary subsets* of the input — the reductions build
 //! them on core-sets and random samples.
 
-use emsim::CostModel;
+use emsim::{CostModel, EmError, Retrier};
 
 /// Weights are unsigned 64-bit and pairwise distinct (paper §1.1). Because
 /// they are distinct, a weight doubles as a unique element identifier, which
@@ -36,6 +36,80 @@ pub enum Monitored {
     /// The query was terminated manually after `limit + 1` reports; the
     /// output is a *subset* of the answer and certifies `|answer| > limit`.
     Truncated,
+}
+
+/// The answer to a fallible top-k query ([`TopKIndex::try_query_topk`]).
+///
+/// Under injected faults a reduction may lose access to part of its
+/// structure mid-query. Rather than panic or silently return wrong results,
+/// it either proves its answer exact (retries succeeded, or an exact
+/// fallback path completed) or *degrades*: it reports the best subset it
+/// could still assemble — elements from a coarser core-set level, a partial
+/// visitor prefix — and says so. `Ok` answers are therefore **never
+/// silently wrong**: `Exact` is bit-identical to the fault-free answer,
+/// `Degraded` is explicitly flagged, and total unreadability is an `Err`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopKAnswer<E> {
+    /// The exact top-k, heaviest first — identical to what the infallible
+    /// query would report.
+    Exact(Vec<E>),
+    /// A best-effort answer assembled after a structure stayed unreadable:
+    /// a subset of the true top-k answer's universe (every item genuinely
+    /// satisfies the query), but possibly missing or mis-ranking elements.
+    Degraded {
+        /// The elements recovered, heaviest first.
+        items: Vec<E>,
+        /// Block I/Os spent from the first unrecoverable fault to the end
+        /// of the query — the recovery cost of the degradation ladder,
+        /// which the chaos experiments plot against fault rate.
+        extra_ios: u64,
+    },
+}
+
+impl<E> TopKAnswer<E> {
+    /// The reported elements, exact or degraded.
+    pub fn items(&self) -> &[E] {
+        match self {
+            TopKAnswer::Exact(items) | TopKAnswer::Degraded { items, .. } => items,
+        }
+    }
+
+    /// Consume into the reported elements.
+    pub fn into_items(self) -> Vec<E> {
+        match self {
+            TopKAnswer::Exact(items) | TopKAnswer::Degraded { items, .. } => items,
+        }
+    }
+
+    /// Whether the answer is provably exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, TopKAnswer::Exact(_))
+    }
+}
+
+/// Records the meter reading at the first unrecoverable fault of a query so
+/// degraded answers can report the I/O spent on recovery (the `extra_ios`
+/// field of [`TopKAnswer::Degraded`]). `note` is idempotent: only the
+/// first fault sets the mark.
+#[derive(Default)]
+pub(crate) struct FaultMark {
+    at: Option<u64>,
+}
+
+impl FaultMark {
+    /// Record the current meter total, unless a fault was already noted.
+    pub(crate) fn note(&mut self, model: &CostModel) {
+        if self.at.is_none() {
+            self.at = Some(model.report().total());
+        }
+    }
+
+    /// Block I/Os since the first noted fault (0 if none was noted).
+    pub(crate) fn extra(&self, model: &CostModel) -> u64 {
+        self.at
+            .map(|m| model.report().total().saturating_sub(m))
+            .unwrap_or(0)
+    }
 }
 
 /// A structure answering prioritized-reporting queries.
@@ -89,12 +163,83 @@ pub trait PrioritizedIndex<E: Element, Q> {
             Monitored::Complete
         }
     }
+
+    /// Fallible [`PrioritizedIndex::for_each_at_least`]: visit under the
+    /// meter's fault plan, retrying transient faults with `retrier`.
+    ///
+    /// The default delegates to the infallible visitor — correct for any
+    /// structure whose reads go through the infallible accessors (which
+    /// model perfect media and never fail). Structures that read through
+    /// the fallible `try_*` substrate accessors override this; on `Err`,
+    /// elements already delivered to `visit` remain valid (a partial
+    /// prefix callers may degrade to).
+    fn try_for_each_at_least(
+        &self,
+        q: &Q,
+        tau: Weight,
+        retrier: &Retrier,
+        visit: &mut dyn FnMut(&E) -> bool,
+    ) -> Result<(), EmError> {
+        let _ = retrier;
+        self.for_each_at_least(q, tau, visit);
+        Ok(())
+    }
+
+    /// Fallible [`PrioritizedIndex::query`]. On `Err`, `out` holds the
+    /// elements visited before the failure.
+    fn try_query(
+        &self,
+        q: &Q,
+        tau: Weight,
+        retrier: &Retrier,
+        out: &mut Vec<E>,
+    ) -> Result<(), EmError> {
+        self.try_for_each_at_least(q, tau, retrier, &mut |e| {
+            out.push(e.clone());
+            true
+        })
+    }
+
+    /// Fallible [`PrioritizedIndex::query_monitored`]. On `Err`, `out`
+    /// holds the elements visited before the failure.
+    fn try_query_monitored(
+        &self,
+        q: &Q,
+        tau: Weight,
+        limit: usize,
+        retrier: &Retrier,
+        out: &mut Vec<E>,
+    ) -> Result<Monitored, EmError> {
+        let mut truncated = false;
+        self.try_for_each_at_least(q, tau, retrier, &mut |e| {
+            out.push(e.clone());
+            if out.len() > limit {
+                truncated = true;
+                false
+            } else {
+                true
+            }
+        })?;
+        Ok(if truncated {
+            Monitored::Truncated
+        } else {
+            Monitored::Complete
+        })
+    }
 }
 
 /// A structure answering max-reporting (top-1) queries.
 pub trait MaxIndex<E: Element, Q> {
     /// The heaviest element satisfying `q`, or `None` if `q(D) = ∅`.
     fn query_max(&self, q: &Q) -> Option<E>;
+
+    /// Fallible [`MaxIndex::query_max`] under the meter's fault plan. The
+    /// default delegates to the infallible path (see
+    /// [`PrioritizedIndex::try_for_each_at_least`] for the rationale).
+    fn try_query_max(&self, q: &Q, retrier: &Retrier) -> Result<Option<E>, EmError> {
+        let _ = retrier;
+        Ok(self.query_max(q))
+    }
 
     /// Space occupied, in blocks.
     fn space_blocks(&self) -> u64;
@@ -116,6 +261,25 @@ pub trait TopKIndex<E: Element, Q> {
 
     /// Space occupied, in blocks.
     fn space_blocks(&self) -> u64;
+
+    /// Fallible top-k under the meter's fault plan: retry transient faults
+    /// with `retrier`, degrade when a structure stays unreadable (see
+    /// [`TopKAnswer`]), and return `Err` only when *nothing* could be
+    /// recovered. The default delegates to the infallible query and is
+    /// always `Exact` — correct for structures reading through infallible
+    /// accessors; the reductions override it with their degradation
+    /// ladders.
+    fn try_query_topk(
+        &self,
+        q: &Q,
+        k: usize,
+        retrier: &Retrier,
+    ) -> Result<TopKAnswer<E>, EmError> {
+        let _ = retrier;
+        let mut out = Vec::new();
+        self.query_topk(q, k, &mut out);
+        Ok(TopKAnswer::Exact(out))
+    }
 }
 
 /// Support for insertions and deletions (Theorem 2's dynamic variant).

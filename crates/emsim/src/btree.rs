@@ -10,6 +10,17 @@
 //! in-order range reporting, insert, and delete with rebalancing.
 
 use crate::cost::CostModel;
+use crate::error::EmError;
+use crate::fault::{self, Retrier};
+
+/// The checksum stored alongside node `node` of tree `array_id` — the same
+/// address-derived sentinel scheme as [`crate::BlockArray`] (see
+/// `block::block_checksum`): corruption injected by the fault plan XORs a
+/// nonzero mask into the value read back, so verification fails exactly on
+/// the nodes the plan corrupted.
+fn node_checksum(array_id: u64, node: u64) -> u64 {
+    fault::mix(fault::mix(array_id ^ 0xB7EE_B7EE) ^ fault::mix(node))
+}
 
 #[derive(Debug)]
 struct Node<K, V> {
@@ -41,6 +52,9 @@ pub struct BTree<K, V> {
     array_id: u64,
     model: CostModel,
     free: Vec<usize>,
+    /// Per-node checksums (indexed like `nodes`), written on allocation;
+    /// the `try_*` accessors re-verify them after every successful read.
+    checksums: Vec<u64>,
 }
 
 impl<K: Ord + Clone, V: Clone> BTree<K, V> {
@@ -60,14 +74,16 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             vals: Vec::new(),
             children: Vec::new(),
         }];
+        let array_id = model.new_array_id();
         BTree {
             nodes,
             root: 0,
             len: 0,
             fanout,
-            array_id: model.new_array_id(),
+            array_id,
             model: model.clone(),
             free: Vec::new(),
+            checksums: vec![node_checksum(array_id, 0)],
         }
     }
 
@@ -129,8 +145,18 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
                 } else {
                     let keep = total / 2;
                     while tree.nodes[lid].keys.len() > keep {
-                        let k = tree.nodes[lid].keys.pop().unwrap();
-                        let v = tree.nodes[lid].vals.pop().unwrap();
+                        // Invariant: keep = total/2 ≥ 1 (total > fanout ≥ 4
+                        // here), so the left leaf never drains below one key
+                        // and both pops see a non-empty, keys/vals-aligned
+                        // leaf.
+                        let k = tree.nodes[lid]
+                            .keys
+                            .pop()
+                            .expect("left leaf keeps ≥ keep ≥ 1 keys during tail split");
+                        let v = tree.nodes[lid]
+                            .vals
+                            .pop()
+                            .expect("leaf vals stay aligned with keys");
                         tree.nodes[rid].keys.insert(0, k);
                         tree.nodes[rid].vals.insert(0, v);
                     }
@@ -179,13 +205,20 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     }
 
     fn alloc(&mut self, node: Node<K, V>) -> usize {
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             self.nodes[id] = node;
             id
         } else {
             self.nodes.push(node);
             self.nodes.len() - 1
+        };
+        let sum = node_checksum(self.array_id, id as u64);
+        if id < self.checksums.len() {
+            self.checksums[id] = sum;
+        } else {
+            self.checksums.push(sum);
         }
+        id
     }
 
     fn touch(&self, node: usize) {
@@ -440,14 +473,30 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         let child = self.nodes[u].children[i];
         self.model.charge_writes(3);
         if self.nodes[child].is_leaf() {
-            let k = self.nodes[left].keys.pop().unwrap();
-            let v = self.nodes[left].vals.pop().unwrap();
+            // Invariant: rebalance_child only borrows when the left sibling
+            // holds > min_fill ≥ 2 keys, so the donor leaf cannot be empty.
+            let k = self.nodes[left]
+                .keys
+                .pop()
+                .expect("donor leaf has > min_fill keys");
+            let v = self.nodes[left]
+                .vals
+                .pop()
+                .expect("leaf vals stay aligned with keys");
             self.nodes[u].keys[i - 1] = k.clone();
             self.nodes[child].keys.insert(0, k);
             self.nodes[child].vals.insert(0, v);
         } else {
-            let c = self.nodes[left].children.pop().unwrap();
-            let k = self.nodes[left].keys.pop().unwrap();
+            // Invariant: an internal donor with > min_fill ≥ 2 children has
+            // ≥ 3 children and children.len()-1 ≥ 2 separator keys.
+            let c = self.nodes[left]
+                .children
+                .pop()
+                .expect("donor internal node has > min_fill children");
+            let k = self.nodes[left]
+                .keys
+                .pop()
+                .expect("internal node keeps children.len()-1 separators");
             let sep = std::mem::replace(&mut self.nodes[u].keys[i - 1], k);
             self.nodes[child].keys.insert(0, sep);
             self.nodes[child].children.insert(0, c);
@@ -497,6 +546,101 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             self.nodes[left].keys.append(&mut rnode.keys);
             self.nodes[left].children.append(&mut rnode.children);
         }
+    }
+
+    /// Verify node `node`'s checksum against what the device reads back.
+    /// A mismatch (silent corruption injected by the meter's fault plan) is
+    /// recorded on the meter and surfaced as [`EmError::Corrupt`].
+    pub fn verify(&self, node: u64) -> Result<(), EmError> {
+        let stored = self.checksums[node as usize];
+        let plan = self.model.fault_plan();
+        let read_back = if plan.is_corrupted(self.array_id, node) {
+            stored ^ plan.corruption_mask(self.array_id, node)
+        } else {
+            stored
+        };
+        if read_back != stored {
+            self.model.record_fault();
+            return Err(EmError::Corrupt {
+                array_id: self.array_id,
+                block: node,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read one node fallibly: retry transient faults under `retrier`, then
+    /// verify the node checksum.
+    fn try_touch_node(&self, node: usize, retrier: &Retrier) -> Result<(), EmError> {
+        retrier.run(|attempt| self.model.try_touch(self.array_id, node as u64, attempt))?;
+        self.verify(node as u64)
+    }
+
+    /// Fallible [`BTree::get`]: point lookup under the meter's fault plan,
+    /// retrying transient faults with `retrier`. A root-to-leaf path that
+    /// stays unreadable after retries surfaces as `Err`.
+    pub fn try_search(&self, key: &K, retrier: &Retrier) -> Result<Option<&V>, EmError> {
+        let mut u = self.root;
+        loop {
+            self.try_touch_node(u, retrier)?;
+            let node = &self.nodes[u];
+            if node.is_leaf() {
+                return Ok(match node.keys.binary_search(key) {
+                    Ok(i) => Some(&node.vals[i]),
+                    Err(_) => None,
+                });
+            }
+            let i = node.keys.partition_point(|k| k <= key);
+            u = node.children[i];
+        }
+    }
+
+    /// Fallible [`BTree::range_while`]: in-order reporting that stops at
+    /// the first subtree whose root stays unreadable after retries. Pairs
+    /// already delivered to `f` remain valid — callers can degrade to the
+    /// partial prefix.
+    pub fn try_range_while(
+        &self,
+        lo: &K,
+        hi: &K,
+        retrier: &Retrier,
+        mut f: impl FnMut(&K, &V) -> bool,
+    ) -> Result<(), EmError> {
+        if self.len == 0 || lo > hi {
+            return Ok(());
+        }
+        self.try_range_rec(self.root, lo, hi, retrier, &mut f)
+            .map(|_| ())
+    }
+
+    /// `Ok(true)` to keep reporting, `Ok(false)` when `f` stopped the scan.
+    fn try_range_rec(
+        &self,
+        u: usize,
+        lo: &K,
+        hi: &K,
+        retrier: &Retrier,
+        f: &mut impl FnMut(&K, &V) -> bool,
+    ) -> Result<bool, EmError> {
+        self.try_touch_node(u, retrier)?;
+        let node = &self.nodes[u];
+        if node.is_leaf() {
+            let start = node.keys.partition_point(|k| k < lo);
+            for i in start..node.keys.len() {
+                if node.keys[i] > *hi || !f(&node.keys[i], &node.vals[i]) {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+        let first = node.keys.partition_point(|k| k <= lo);
+        let last = node.keys.partition_point(|k| k <= hi);
+        for i in first..=last {
+            if !self.try_range_rec(node.children[i], lo, hi, retrier, f)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Check structural invariants (fill factors, key ordering, child counts).
@@ -725,5 +869,120 @@ mod tests {
         t.check_invariants();
         assert_eq!(t.get(&7), Some(&70));
         assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn randomized_interleaving_at_minimum_fanout() {
+        // Fanout is clamped to its minimum of 4 (B=1 word), so every insert
+        // splits early and every delete immediately exercises the
+        // borrow-from-left / borrow-from-right / merge paths the documented
+        // expects guard. Checked against std::BTreeMap at every step.
+        use std::collections::BTreeMap;
+        let m = model(1);
+        let mut t: BTree<u32, u32> = BTree::new(&m);
+        assert_eq!(t.fanout, 4, "B=1 word clamps fanout to the minimum");
+        let mut reference = BTreeMap::new();
+        let mut x = 0xDEC0DEu64;
+        for round in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 120) as u32;
+            // Bias phases: mostly inserts early, mostly deletes late, so the
+            // tree repeatedly grows through splits and drains through
+            // borrows/merges all the way back to a root leaf.
+            let grow = (round / 5_000) % 2 == 0;
+            let op = x % 10;
+            if (grow && op < 6) || (!grow && op < 2) {
+                assert_eq!(t.insert(key, key ^ 1), reference.insert(key, key ^ 1));
+            } else if op < 8 {
+                assert_eq!(t.remove(&key), reference.remove(&key), "round {round}");
+            } else {
+                assert_eq!(t.get(&key), reference.get(&key));
+            }
+            if round % 1_000 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), reference.len());
+        // Drain completely: the deepest rebalance cascades happen here.
+        let keys: Vec<u32> = reference.keys().copied().collect();
+        for k in keys {
+            assert_eq!(t.remove(&k), reference.remove(&k));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+    }
+
+    use crate::fault::{FaultPlan, Retrier};
+
+    #[test]
+    fn try_search_matches_get_under_inert_plan() {
+        let m = CostModel::with_faults(EmConfig::new(64), FaultPlan::none());
+        let pairs: Vec<(u64, u64)> = (0..5_000u64).map(|i| (i * 2, i)).collect();
+        let t = BTree::from_sorted(&m, pairs);
+        let r = Retrier::default();
+        for probe in [0u64, 2, 3, 4_444, 9_998, 10_000] {
+            assert_eq!(t.try_search(&probe, &r).unwrap(), t.get(&probe));
+        }
+        assert_eq!(m.report().faults, 0);
+    }
+
+    #[test]
+    fn try_search_survives_transient_faults() {
+        let m = CostModel::with_faults(
+            EmConfig::new(64),
+            FaultPlan::new(13).with_transient(0.4),
+        );
+        let pairs: Vec<(u64, u64)> = (0..5_000u64).map(|i| (i, i)).collect();
+        let t = BTree::from_sorted(&m, pairs);
+        m.reset();
+        let r = Retrier::new(20); // residual failure ~ 0.4^21 per node
+        for probe in (0..5_000u64).step_by(97) {
+            assert_eq!(t.try_search(&probe, &r).unwrap(), Some(&probe));
+        }
+        let rep = m.report();
+        assert!(rep.faults > 0, "rate 0.4 across many probes must fault");
+        assert!(rep.reads > rep.faults, "successful reads outnumber none");
+    }
+
+    #[test]
+    fn try_search_reports_bad_nodes() {
+        // Every node permanently unreadable: the very first root touch
+        // fails with a non-transient error, never a panic or wrong answer.
+        let m = CostModel::with_faults(
+            EmConfig::new(64),
+            FaultPlan::new(2).with_permanent(1.0),
+        );
+        let pairs: Vec<(u64, u64)> = (0..1_000u64).map(|i| (i, i)).collect();
+        let t = BTree::from_sorted(&m, pairs);
+        let e = t.try_search(&5, &Retrier::new(3)).unwrap_err();
+        assert!(matches!(e, EmError::BadBlock { .. }));
+    }
+
+    #[test]
+    fn try_range_while_degrades_to_prefix_on_corruption() {
+        // Corrupt everything: the root itself is detected as corrupt, so
+        // the report delivers nothing but errors out cleanly; under an
+        // inert plan the same call reproduces range_while exactly.
+        let m = CostModel::with_faults(EmConfig::new(64), FaultPlan::new(4).with_corrupt(1.0));
+        let pairs: Vec<(u64, u64)> = (0..2_000u64).map(|i| (i, i)).collect();
+        let t = BTree::from_sorted(&m, pairs);
+        let r = Retrier::default();
+        let mut seen = Vec::new();
+        let e = t
+            .try_range_while(&0, &1_999, &r, |&k, _| {
+                seen.push(k);
+                true
+            })
+            .unwrap_err();
+        assert!(matches!(e, EmError::Corrupt { .. }));
+        m.set_fault_plan(FaultPlan::none());
+        let mut clean = Vec::new();
+        t.try_range_while(&100, &200, &r, |&k, _| {
+            clean.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(clean, (100..=200).collect::<Vec<u64>>());
     }
 }

@@ -27,9 +27,19 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::error::EmError;
+use crate::fault::{self, FaultPlan};
 use crate::pool::LruPool;
+
+/// Lock a mutex, recovering from poisoning: the protected state (counters,
+/// LRU recency lists, fault plans) stays internally consistent across a
+/// panic, so a worker thread that dies mid-experiment must not cascade the
+/// poison into every other experiment sharing the meter.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Parameters of the external-memory machine.
 ///
@@ -116,6 +126,14 @@ struct Inner {
     tracing: AtomicBool,
     /// Per-array read counts, populated only while tracing is on.
     trace: Mutex<Option<HashMap<u64, u64>>>,
+    /// Injected faults observed so far (failed reads + detected corruption).
+    faults: AtomicU64,
+    /// Fast path: skip the fault-plan mutex unless a plan is armed, so the
+    /// fault-free configuration charges exactly as before the fault layer
+    /// existed (no meter drift).
+    faults_active: AtomicBool,
+    /// The fault plan consulted by [`CostModel::try_touch`].
+    fault: Mutex<FaultPlan>,
 }
 
 /// A cheaply-cloneable handle to the shared I/O meter.
@@ -140,6 +158,11 @@ pub struct IoReport {
     pub pool_hits: u64,
     /// Buffer-pool misses (reads that cost an I/O) observed so far.
     pub pool_misses: u64,
+    /// Injected faults observed so far: failed `try_touch` reads plus
+    /// checksum mismatches detected by the storage layer. Each faulted read
+    /// still counts in `reads` (the I/O was spent), so `faults` measures
+    /// how much of the read traffic was wasted on failures.
+    pub faults: u64,
 }
 
 impl IoReport {
@@ -167,6 +190,7 @@ impl IoReport {
             writes: self.writes - earlier.writes,
             pool_hits: self.pool_hits - earlier.pool_hits,
             pool_misses: self.pool_misses - earlier.pool_misses,
+            faults: self.faults - earlier.faults,
         }
     }
 }
@@ -179,13 +203,21 @@ impl std::ops::Add for IoReport {
             writes: self.writes + rhs.writes,
             pool_hits: self.pool_hits + rhs.pool_hits,
             pool_misses: self.pool_misses + rhs.pool_misses,
+            faults: self.faults + rhs.faults,
         }
     }
 }
 
 impl CostModel {
-    /// Create a meter for the given machine.
+    /// Create a meter for the given machine. The fault plan is inherited
+    /// from the process ambient ([`fault::ambient_plan`]): none unless a
+    /// global plan was installed or `FAULT_RATE` is set.
     pub fn new(config: EmConfig) -> Self {
+        CostModel::with_faults(config, fault::ambient_plan())
+    }
+
+    /// Create a meter whose fallible accessors are subject to `plan`.
+    pub fn with_faults(config: EmConfig, plan: FaultPlan) -> Self {
         CostModel {
             inner: Arc::new(Inner {
                 config,
@@ -195,6 +227,9 @@ impl CostModel {
                 next_array_id: AtomicU64::new(0),
                 tracing: AtomicBool::new(false),
                 trace: Mutex::new(None),
+                faults: AtomicU64::new(0),
+                faults_active: AtomicBool::new(plan.is_active()),
+                fault: Mutex::new(plan),
             }),
         }
     }
@@ -202,6 +237,24 @@ impl CostModel {
     /// Convenience: a meter for the RAM model.
     pub fn ram() -> Self {
         CostModel::new(EmConfig::ram())
+    }
+
+    /// The fault plan governing this meter's `try_*` accesses.
+    pub fn fault_plan(&self) -> FaultPlan {
+        *lock_recover(&self.inner.fault)
+    }
+
+    /// Replace the fault plan (e.g. to arm faults mid-experiment or to
+    /// disarm the ambient plan with [`FaultPlan::none`]).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *lock_recover(&self.inner.fault) = plan;
+        self.inner.faults_active.store(plan.is_active(), Relaxed);
+    }
+
+    /// Record a fault detected *above* the read path (a checksum mismatch
+    /// found by [`crate::BlockArray`] / [`crate::BTree`] verification).
+    pub fn record_fault(&self) {
+        self.inner.faults.fetch_add(1, Relaxed);
     }
 
     /// The machine parameters.
@@ -228,7 +281,10 @@ impl CostModel {
     /// lock, and the parent's totals end up identical to a sequential run.
     pub fn scoped(&self) -> ScopedMeter {
         ScopedMeter {
-            child: CostModel::new(self.inner.config),
+            // The child inherits this meter's fault plan (not the ambient
+            // one), so a trial fanned out under an explicitly-armed meter
+            // sees the same fault universe.
+            child: CostModel::with_faults(self.inner.config, self.fault_plan()),
             parent: self.clone(),
         }
     }
@@ -238,32 +294,80 @@ impl CostModel {
     pub fn absorb(&self, r: IoReport) {
         self.inner.reads.fetch_add(r.reads, Relaxed);
         self.inner.writes.fetch_add(r.writes, Relaxed);
-        self.inner
-            .pool
-            .lock()
-            .expect("pool lock poisoned")
-            .absorb_stats(r.pool_hits, r.pool_misses);
+        self.inner.faults.fetch_add(r.faults, Relaxed);
+        lock_recover(&self.inner.pool).absorb_stats(r.pool_hits, r.pool_misses);
     }
 
     /// Charge the read of one specific block, going through the buffer pool:
     /// a pool hit is free, a miss costs one read I/O.
+    ///
+    /// This path models fault-free media — it never consults the fault plan
+    /// and never fails. Use [`CostModel::try_touch`] for fallible reads.
     pub fn touch(&self, array_id: u64, block_idx: u64) {
         if self.inner.config.mem_blocks != 0 {
-            let mut pool = self.inner.pool.lock().expect("pool lock poisoned");
+            let mut pool = lock_recover(&self.inner.pool);
             if pool.access(array_id, block_idx) {
                 return; // pool hit: free
             }
         }
         self.inner.reads.fetch_add(1, Relaxed);
         tally_reads(1);
+        self.trace_read(array_id);
+    }
+
+    /// Fallible read of one specific block: disk-read `attempt` (0-based;
+    /// a [`crate::fault::Retrier`] increments it) is submitted to the fault
+    /// plan.
+    ///
+    /// * Pool hit: free and always succeeds — resident blocks are in
+    ///   memory, immune to disk faults.
+    /// * Miss with a successful read: one read I/O, block cached (exactly
+    ///   like [`CostModel::touch`]).
+    /// * Miss with an injected fault: one read I/O is still charged (the
+    ///   failed attempt cost a disk round-trip — this is how retry cost
+    ///   shows up in the meter), the block is *not* cached, the `faults`
+    ///   counter is bumped, and the error is returned.
+    ///
+    /// With [`FaultPlan::none`] this is charge-for-charge identical to
+    /// [`CostModel::touch`].
+    pub fn try_touch(&self, array_id: u64, block_idx: u64, attempt: u32) -> Result<(), EmError> {
+        if !self.inner.faults_active.load(Relaxed) {
+            self.touch(array_id, block_idx);
+            return Ok(());
+        }
+        let pooled = self.inner.config.mem_blocks != 0;
+        if pooled && lock_recover(&self.inner.pool).probe(array_id, block_idx) {
+            return Ok(());
+        }
+        let outcome = self
+            .fault_plan()
+            .read_outcome(array_id, block_idx, attempt);
+        // The disk attempt happened either way: charge the read.
+        self.inner.reads.fetch_add(1, Relaxed);
+        tally_reads(1);
+        if pooled {
+            let mut pool = lock_recover(&self.inner.pool);
+            match outcome {
+                Ok(()) => pool.admit(array_id, block_idx),
+                Err(_) => pool.record_miss(),
+            }
+        }
+        match outcome {
+            Ok(()) => {
+                self.trace_read(array_id);
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.faults.fetch_add(1, Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attribute one charged read to `array_id` if tracing is on.
+    fn trace_read(&self, array_id: u64) {
         if self.inner.tracing.load(Relaxed) {
-            if let Some(trace) = self
-                .inner
-                .trace
-                .lock()
-                .expect("trace lock poisoned")
-                .as_mut()
-            {
+            if let Some(trace) = lock_recover(&self.inner.trace).as_mut() {
                 *trace.entry(array_id).or_insert(0) += 1;
             }
         }
@@ -274,20 +378,14 @@ impl CostModel {
     /// trace. Only `touch`-based reads are attributed; bulk `charge_*` calls
     /// have no structure identity.
     pub fn start_trace(&self) {
-        *self.inner.trace.lock().expect("trace lock poisoned") = Some(HashMap::new());
+        *lock_recover(&self.inner.trace) = Some(HashMap::new());
         self.inner.tracing.store(true, Relaxed);
     }
 
     /// Stop tracing and return `(array_id, reads)` pairs, heaviest first.
     pub fn stop_trace(&self) -> Vec<(u64, u64)> {
         self.inner.tracing.store(false, Relaxed);
-        let map = self
-            .inner
-            .trace
-            .lock()
-            .expect("trace lock poisoned")
-            .take()
-            .unwrap_or_default();
+        let map = lock_recover(&self.inner.trace).take().unwrap_or_default();
         let mut v: Vec<(u64, u64)> = map.into_iter().collect();
         v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
@@ -318,17 +416,13 @@ impl CostModel {
 
     /// Read the counters.
     pub fn report(&self) -> IoReport {
-        let (pool_hits, pool_misses) = self
-            .inner
-            .pool
-            .lock()
-            .expect("pool lock poisoned")
-            .stats();
+        let (pool_hits, pool_misses) = lock_recover(&self.inner.pool).stats();
         IoReport {
             reads: self.inner.reads.load(Relaxed),
             writes: self.inner.writes.load(Relaxed),
             pool_hits,
             pool_misses,
+            faults: self.inner.faults.load(Relaxed),
         }
     }
 
@@ -344,17 +438,14 @@ impl CostModel {
     pub fn reset(&self) {
         self.inner.reads.store(0, Relaxed);
         self.inner.writes.store(0, Relaxed);
-        self.inner
-            .pool
-            .lock()
-            .expect("pool lock poisoned")
-            .reset_stats();
+        self.inner.faults.store(0, Relaxed);
+        lock_recover(&self.inner.pool).reset_stats();
     }
 
     /// Empty the buffer pool, so the next measurement starts cold. Hit/miss
     /// statistics are kept; [`CostModel::reset`] zeroes those.
     pub fn clear_pool(&self) {
-        self.inner.pool.lock().expect("pool lock poisoned").clear();
+        lock_recover(&self.inner.pool).clear();
     }
 
     /// Run `f` and return its result together with the I/Os it charged.
@@ -554,6 +645,139 @@ mod tests {
             ..IoReport::default()
         });
         assert_eq!(thread_charged().since(&before).reads, 15);
+    }
+
+    #[test]
+    fn try_touch_with_inert_plan_charges_like_touch() {
+        // Explicit none-plan meters, immune to any ambient/global plan a
+        // concurrently-running test may have installed.
+        let a = CostModel::with_faults(EmConfig::with_memory(64, 2), FaultPlan::none());
+        let b = CostModel::with_faults(EmConfig::with_memory(64, 2), FaultPlan::none());
+        for blk in [0u64, 0, 1, 2, 0, 1] {
+            a.touch(0, blk);
+            b.try_touch(0, blk, 0).expect("inert plan never fails");
+        }
+        assert_eq!(a.report(), b.report(), "no meter drift from the fallible path");
+        assert_eq!(a.report().faults, 0);
+    }
+
+    #[test]
+    fn failed_reads_are_charged_counted_and_never_cached() {
+        // Every block is permanently bad: each attempt costs one read,
+        // bumps `faults`, counts a pool miss, and caches nothing.
+        let plan = FaultPlan::new(5).with_permanent(1.0);
+        let m = CostModel::with_faults(EmConfig::with_memory(64, 4), plan);
+        for attempt in 0..3 {
+            assert!(m.try_touch(0, 7, attempt).is_err());
+        }
+        let r = m.report();
+        assert_eq!(r.reads, 3, "each failed attempt is a real disk read");
+        assert_eq!(r.faults, 3);
+        assert_eq!(r.pool_misses, 3);
+        assert_eq!(r.pool_hits, 0, "failed reads never cache the block");
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn resident_blocks_are_immune_to_faults() {
+        // Load the block under an inert plan, then arm total failure: the
+        // pool hit must still succeed for free.
+        let m = CostModel::with_faults(EmConfig::with_memory(64, 4), FaultPlan::none());
+        m.touch(3, 0);
+        m.set_fault_plan(FaultPlan::new(5).with_permanent(1.0));
+        assert!(m.try_touch(3, 0, 0).is_ok());
+        let r = m.report();
+        assert_eq!(r.reads, 1, "the hit was free");
+        assert_eq!(r.pool_hits, 1);
+        assert_eq!(r.faults, 0);
+    }
+
+    #[test]
+    fn record_fault_feeds_the_fault_counter() {
+        let m = CostModel::with_faults(EmConfig::new(64), FaultPlan::none());
+        m.record_fault();
+        m.record_fault();
+        assert_eq!(m.report().faults, 2);
+        m.reset();
+        assert_eq!(m.report().faults, 0, "reset zeroes faults");
+    }
+
+    #[test]
+    fn scoped_meter_rolls_up_faults_and_retried_reads() {
+        // Satellite: retried reads must count as distinct I/Os in BOTH the
+        // child and the parent meter, and fault counts must roll up too.
+        let plan = FaultPlan::new(1).with_transient(1.0); // every attempt fails
+        let parent = CostModel::with_faults(EmConfig::with_memory(64, 4), plan);
+        {
+            let trial = parent.scoped();
+            assert!(
+                trial.fault_plan().is_active(),
+                "child inherits the parent's plan"
+            );
+            // A fail-fast sequence of 4 attempts (what Retrier::new(3) does).
+            for attempt in 0..4 {
+                assert!(trial.try_touch(0, 0, attempt).is_err());
+            }
+            let c = trial.meter().report();
+            assert_eq!(c.reads, 4, "child: one I/O per attempt");
+            assert_eq!(c.faults, 4);
+            assert_eq!(parent.report().reads, 0, "parent untouched until drop");
+        }
+        let p = parent.report();
+        assert_eq!(p.reads, 4, "parent: retried reads preserved on rollup");
+        assert_eq!(p.faults, 4);
+        assert_eq!(p.pool_misses, 4);
+        assert_eq!(p.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_reflects_fault_wasted_misses() {
+        // One good block re-read twice (1 miss + 2 hits), plus 2 failed
+        // attempts on a bad block (2 misses): hit_rate = 2/5.
+        let plan = FaultPlan::new(5).with_permanent(1.0);
+        let m = CostModel::with_faults(EmConfig::with_memory(64, 4), FaultPlan::none());
+        m.touch(0, 0);
+        m.touch(0, 0);
+        m.touch(0, 0);
+        m.set_fault_plan(plan);
+        assert!(m.try_touch(0, 9, 0).is_err());
+        assert!(m.try_touch(0, 9, 1).is_err());
+        let r = m.report();
+        assert_eq!((r.pool_hits, r.pool_misses), (2, 3));
+        assert!((r.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_survives_a_panicking_worker_thread() {
+        // A thread that dies while holding the meter's internal locks must
+        // not poison them for every other experiment sharing the meter
+        // (the poisoned-lock cascade this PR fixes).
+        let m = CostModel::new(EmConfig::with_memory(64, 4));
+        m.start_trace();
+        for mutex in ["pool", "trace", "fault"] {
+            let m2 = m.clone();
+            let joined = std::thread::spawn(move || {
+                let _pool;
+                let _trace;
+                let _fault;
+                match mutex {
+                    "pool" => _pool = m2.inner.pool.lock().unwrap(),
+                    "trace" => _trace = m2.inner.trace.lock().unwrap(),
+                    _ => _fault = m2.inner.fault.lock().unwrap(),
+                }
+                panic!("worker dies holding the {mutex} lock");
+            })
+            .join();
+            assert!(joined.is_err());
+        }
+        m.touch(0, 1); // poisoned pool + trace locks must be recovered
+        assert_eq!(m.stop_trace(), vec![(0, 1)]);
+        let _ = m.fault_plan();
+        m.set_fault_plan(FaultPlan::none());
+        m.absorb(IoReport::default());
+        m.reset();
+        m.clear_pool();
+        assert_eq!(m.report().reads, 0);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! [`EmError`]: the typed failure vocabulary of the fallible EM substrate.
+//!
+//! The infallible accessors ([`crate::BlockArray::get`] and friends) model
+//! perfect media; the `try_*` accessors instead surface injected faults
+//! (see [`crate::fault`]) as values of this type, so every layer above the
+//! substrate can decide to retry, degrade, or report — never panic.
+
+/// A failed block access in the simulated EM machine.
+///
+/// Every variant carries the `(array_id, block)` address of the failing
+/// block so recovery policies can reason about *which* structure broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmError {
+    /// A transient read error: the device timed out or returned garbage it
+    /// itself flagged. Retrying the same block may succeed.
+    Transient {
+        /// Structure identity (from [`crate::CostModel::new_array_id`]).
+        array_id: u64,
+        /// Block index within the structure.
+        block: u64,
+    },
+    /// A permanently unreadable block: every retry will fail.
+    BadBlock {
+        /// Structure identity.
+        array_id: u64,
+        /// Block index within the structure.
+        block: u64,
+    },
+    /// The block was read "successfully" but its checksum does not match —
+    /// silent corruption, detected. Retrying re-reads the same corrupted
+    /// sectors, so this is as permanent as [`EmError::BadBlock`].
+    Corrupt {
+        /// Structure identity.
+        array_id: u64,
+        /// Block index within the structure.
+        block: u64,
+    },
+    /// A [`crate::fault::Retrier`] gave up: the last error was transient but
+    /// the retry budget ran out after `attempts` total attempts.
+    Exhausted {
+        /// Structure identity.
+        array_id: u64,
+        /// Block index within the structure.
+        block: u64,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+    },
+}
+
+impl EmError {
+    /// Whether retrying the failed access could possibly succeed.
+    /// [`EmError::Exhausted`] is *not* retryable: it already encodes the
+    /// decision that retrying stops.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EmError::Transient { .. })
+    }
+
+    /// The `(array_id, block)` address of the failing block.
+    pub fn location(&self) -> (u64, u64) {
+        match *self {
+            EmError::Transient { array_id, block }
+            | EmError::BadBlock { array_id, block }
+            | EmError::Corrupt { array_id, block }
+            | EmError::Exhausted {
+                array_id, block, ..
+            } => (array_id, block),
+        }
+    }
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::Transient { array_id, block } => {
+                write!(f, "transient read error at array {array_id} block {block}")
+            }
+            EmError::BadBlock { array_id, block } => {
+                write!(f, "permanently bad block at array {array_id} block {block}")
+            }
+            EmError::Corrupt { array_id, block } => {
+                write!(f, "checksum mismatch at array {array_id} block {block}")
+            }
+            EmError::Exhausted {
+                array_id,
+                block,
+                attempts,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts at array {array_id} block {block}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_is_the_only_retryable_kind() {
+        assert!(EmError::Transient { array_id: 0, block: 1 }.is_transient());
+        assert!(!EmError::BadBlock { array_id: 0, block: 1 }.is_transient());
+        assert!(!EmError::Corrupt { array_id: 0, block: 1 }.is_transient());
+        assert!(!EmError::Exhausted { array_id: 0, block: 1, attempts: 4 }.is_transient());
+    }
+
+    #[test]
+    fn location_reports_the_failing_block() {
+        assert_eq!(EmError::BadBlock { array_id: 7, block: 9 }.location(), (7, 9));
+        assert_eq!(
+            EmError::Exhausted { array_id: 1, block: 2, attempts: 3 }.location(),
+            (1, 2)
+        );
+    }
+
+    #[test]
+    fn display_names_the_fault_kind() {
+        let e = EmError::Corrupt { array_id: 3, block: 4 };
+        assert!(e.to_string().contains("checksum"));
+        assert!(format!("{}", EmError::Transient { array_id: 0, block: 0 }).contains("transient"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Deterministic fault injection for the simulated disk.
+//!
+//! A [`FaultPlan`] decides, per `(array_id, block, attempt)` triple, whether
+//! a block read succeeds, fails transiently, hits a permanently bad block,
+//! or returns silently corrupted data (caught by the per-block checksums of
+//! [`crate::BlockArray`] / [`crate::BTree`]). The decisions are pure
+//! functions of the plan's seed — the same RNG discipline as the parallel
+//! experiment harness — so a fault sweep is reproducible at any thread
+//! count and a [`Retrier`] replaying an access sees a consistent device.
+//!
+//! The infallible [`crate::CostModel::touch`] path never consults the plan:
+//! fault-free code keeps its exact I/O counts (no meter drift), and only
+//! call sites that opted into the `try_*` accessors observe faults.
+//!
+//! A process-global plan can be installed with [`install_global_plan`] (or
+//! the `FAULT_RATE` / `FAULT_SEED` environment variables, read once) so a
+//! soak test can subject every [`crate::CostModel`] created afterwards to
+//! the same failure regime without threading a plan through every build.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::EmError;
+
+/// SplitMix64 finalizer: the bit mixer behind every fault decision (also
+/// used by the storage layer to derive per-block checksum sentinels).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform float in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const SALT_TRANSIENT: u64 = 0x7472616E7369; // "transi"
+const SALT_PERMANENT: u64 = 0x7065726D; // "perm"
+const SALT_CORRUPT: u64 = 0x636F7272; // "corr"
+
+/// A deterministic, seed-driven description of which block reads fail.
+///
+/// Rates are probabilities in `[0, 1]`:
+///
+/// * `transient` — each *attempt* on a block independently fails with this
+///   probability (so a retry usually clears it);
+/// * `permanent` — each *block* is permanently unreadable with this
+///   probability (every attempt fails);
+/// * `corrupt` — each *block* silently corrupts with this probability (the
+///   read "succeeds" but the checksum comparison fails, on every attempt).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault universe; two plans with equal rates but different
+    /// seeds fail different blocks.
+    pub seed: u64,
+    /// Per-attempt transient read failure probability.
+    pub transient: f64,
+    /// Per-block permanent bad-block probability.
+    pub permanent: f64,
+    /// Per-block silent-corruption probability.
+    pub corrupt: f64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (all rates zero). This is the default of every
+    /// [`crate::CostModel`] unless a global plan is installed.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient: 0.0,
+            permanent: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// A plan with the given seed and all rates zero; chain the `with_*`
+    /// setters to arm it.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Set the per-attempt transient failure rate.
+    pub fn with_transient(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.transient = rate;
+        self
+    }
+
+    /// Set the per-block permanent bad-block rate.
+    pub fn with_permanent(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.permanent = rate;
+        self
+    }
+
+    /// Set the per-block silent-corruption rate.
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.corrupt = rate;
+        self
+    }
+
+    /// A convenience mixed profile for chaos runs: transient at `rate`,
+    /// permanent at `rate/4`, corruption at `rate/8`.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed)
+            .with_transient(rate)
+            .with_permanent(rate / 4.0)
+            .with_corrupt(rate / 8.0)
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.transient > 0.0 || self.permanent > 0.0 || self.corrupt > 0.0
+    }
+
+    fn hash(&self, salt: u64, array_id: u64, block: u64, attempt: u64) -> u64 {
+        mix(mix(mix(mix(self.seed ^ salt) ^ array_id) ^ block) ^ attempt)
+    }
+
+    /// Whether this block is permanently unreadable under the plan.
+    pub fn is_bad_block(&self, array_id: u64, block: u64) -> bool {
+        self.permanent > 0.0
+            && unit(self.hash(SALT_PERMANENT, array_id, block, 0)) < self.permanent
+    }
+
+    /// Whether this block's payload is silently corrupted under the plan.
+    /// Bad blocks are not additionally corrupted (the read already fails).
+    pub fn is_corrupted(&self, array_id: u64, block: u64) -> bool {
+        self.corrupt > 0.0
+            && !self.is_bad_block(array_id, block)
+            && unit(self.hash(SALT_CORRUPT, array_id, block, 0)) < self.corrupt
+    }
+
+    /// A nonzero mask XORed into a corrupted block's stored checksum to
+    /// model the scrambled payload a real device would return.
+    pub fn corruption_mask(&self, array_id: u64, block: u64) -> u64 {
+        self.hash(SALT_CORRUPT ^ 0xFF, array_id, block, 0) | 1
+    }
+
+    /// The outcome of disk-read `attempt` (0-based) on a block: `Ok(())` if
+    /// the device returned data, or the injected failure. Corruption is
+    /// *not* reported here — it is silent by definition and only surfaces
+    /// through the checksum verification of the storage layer.
+    pub fn read_outcome(&self, array_id: u64, block: u64, attempt: u32) -> Result<(), EmError> {
+        if self.is_bad_block(array_id, block) {
+            return Err(EmError::BadBlock { array_id, block });
+        }
+        if self.transient > 0.0
+            && unit(self.hash(SALT_TRANSIENT, array_id, block, attempt as u64)) < self.transient
+        {
+            return Err(EmError::Transient { array_id, block });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Bounded-retry policy for transient faults.
+///
+/// `budget` is the number of *re*-attempts after the first failure; a budget
+/// of 0 fails fast. Each attempt is a real disk read, so the substrate
+/// charges one read I/O per attempt (successful or not) — recovery cost is
+/// visible in the [`crate::IoReport`], which is the "I/O-charged backoff"
+/// the experiments plot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Retrier {
+    /// Maximum retries after the first failed attempt.
+    pub budget: u32,
+}
+
+impl Retrier {
+    /// A retrier with the given budget.
+    pub fn new(budget: u32) -> Self {
+        Retrier { budget }
+    }
+
+    /// No retries: every transient fault is surfaced immediately.
+    pub fn fail_fast() -> Self {
+        Retrier { budget: 0 }
+    }
+
+    /// Budget from the `RETRY_BUDGET` environment variable, defaulting to 3
+    /// (the same default as [`Retrier::default`]).
+    pub fn from_env() -> Self {
+        let budget = std::env::var("RETRY_BUDGET")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3);
+        Retrier { budget }
+    }
+
+    /// Run `f(attempt)` for attempts `0, 1, …` until it succeeds, fails
+    /// non-transiently, or the budget is exhausted (in which case the last
+    /// transient error is converted to [`EmError::Exhausted`]).
+    pub fn run<T>(&self, mut f: impl FnMut(u32) -> Result<T, EmError>) -> Result<T, EmError> {
+        let mut last = None;
+        for attempt in 0..=self.budget {
+            match f(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let (array_id, block) = last
+            .expect("loop ran at least once and only falls through on a stored transient error")
+            .location();
+        Err(EmError::Exhausted {
+            array_id,
+            block,
+            attempts: self.budget + 1,
+        })
+    }
+}
+
+impl Default for Retrier {
+    fn default() -> Self {
+        Retrier { budget: 3 }
+    }
+}
+
+/// The process-global plan, if installed; guards every `CostModel::new`.
+static GLOBAL_PLAN: Mutex<FaultPlan> = Mutex::new(FaultPlan {
+    seed: 0,
+    transient: 0.0,
+    permanent: 0.0,
+    corrupt: 0.0,
+});
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static ENV_PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+
+/// The plan from `FAULT_RATE` / `FAULT_SEED` environment variables (read
+/// once per process): `FAULT_RATE=r` is shorthand for the
+/// [`FaultPlan::chaos`] profile at rate `r`.
+fn env_plan() -> Option<FaultPlan> {
+    *ENV_PLAN.get_or_init(|| {
+        let rate: f64 = std::env::var("FAULT_RATE").ok()?.parse().ok()?;
+        if rate.is_nan() || rate <= 0.0 {
+            return None;
+        }
+        let seed = std::env::var("FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xFA_017);
+        Some(FaultPlan::chaos(seed, rate.min(1.0)))
+    })
+}
+
+/// Install a process-global plan: every [`crate::CostModel`] created afterwards
+/// starts with this plan (explicit [`crate::CostModel::with_faults`] /
+/// [`crate::CostModel::set_fault_plan`] calls still override it per meter).
+/// Used by soak tests; pair with [`clear_global_plan`].
+pub fn install_global_plan(plan: FaultPlan) {
+    *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    GLOBAL_ACTIVE.store(true, Relaxed);
+}
+
+/// Remove the process-global plan installed by [`install_global_plan`].
+pub fn clear_global_plan() {
+    GLOBAL_ACTIVE.store(false, Relaxed);
+}
+
+/// The plan newly created meters inherit: the installed global plan, else
+/// the environment plan, else [`FaultPlan::none`].
+pub fn ambient_plan() -> FaultPlan {
+    if GLOBAL_ACTIVE.load(Relaxed) {
+        return *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    env_plan().unwrap_or_else(FaultPlan::none)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        for b in 0..1_000 {
+            assert_eq!(p.read_outcome(0, b, 0), Ok(()));
+            assert!(!p.is_bad_block(0, b));
+            assert!(!p.is_corrupted(0, b));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let p1 = FaultPlan::new(1).with_permanent(0.2);
+        let p2 = FaultPlan::new(2).with_permanent(0.2);
+        let a: Vec<bool> = (0..200).map(|b| p1.is_bad_block(5, b)).collect();
+        let b: Vec<bool> = (0..200).map(|b| p1.is_bad_block(5, b)).collect();
+        let c: Vec<bool> = (0..200).map(|b| p2.is_bad_block(5, b)).collect();
+        assert_eq!(a, b, "same plan, same decisions");
+        assert_ne!(a, c, "different seeds fail different blocks");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = FaultPlan::new(42).with_permanent(0.1);
+        let bad = (0..20_000).filter(|&b| p.is_bad_block(0, b)).count();
+        assert!((1_200..2_800).contains(&bad), "bad = {bad}");
+        let p = FaultPlan::new(42).with_transient(0.3);
+        let fails = (0..20_000)
+            .filter(|&b| p.read_outcome(0, b, 0).is_err())
+            .count();
+        assert!((4_800..7_200).contains(&fails), "fails = {fails}");
+    }
+
+    #[test]
+    fn transient_faults_clear_across_attempts() {
+        let p = FaultPlan::new(7).with_transient(0.5);
+        // Find a block whose first attempt fails; some later attempt must
+        // succeed (probability of 50 consecutive failures ~ 2^-50).
+        let block = (0..1_000)
+            .find(|&b| p.read_outcome(0, b, 0).is_err())
+            .expect("at rate 0.5 some first attempt fails");
+        assert!(
+            (1..50).any(|a| p.read_outcome(0, block, a).is_ok()),
+            "transient fault never cleared"
+        );
+    }
+
+    #[test]
+    fn bad_blocks_fail_every_attempt() {
+        let p = FaultPlan::new(3).with_permanent(0.2);
+        let block = (0..1_000)
+            .find(|&b| p.is_bad_block(9, b))
+            .expect("some bad block at rate 0.2");
+        for attempt in 0..20 {
+            assert_eq!(
+                p.read_outcome(9, block, attempt),
+                Err(EmError::BadBlock { array_id: 9, block })
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_silent_and_disjoint_from_bad_blocks() {
+        let p = FaultPlan::new(11).with_corrupt(0.3).with_permanent(0.3);
+        let mut corrupted = 0;
+        for b in 0..2_000 {
+            if p.is_corrupted(4, b) {
+                corrupted += 1;
+                // Silent: the read itself succeeds (unless transient).
+                assert_eq!(p.read_outcome(4, b, 0), Ok(()));
+                assert!(!p.is_bad_block(4, b));
+                assert_ne!(p.corruption_mask(4, b), 0);
+            }
+        }
+        assert!(corrupted > 100, "corrupted = {corrupted}");
+    }
+
+    #[test]
+    fn retrier_retries_transients_within_budget() {
+        let mut calls = 0;
+        let r = Retrier::new(3);
+        let out = r.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(EmError::Transient { array_id: 0, block: 0 })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retrier_exhausts_into_typed_error() {
+        let r = Retrier::new(2);
+        let out: Result<(), _> = r.run(|_| Err(EmError::Transient { array_id: 1, block: 9 }));
+        assert_eq!(
+            out,
+            Err(EmError::Exhausted { array_id: 1, block: 9, attempts: 3 })
+        );
+    }
+
+    #[test]
+    fn retrier_does_not_retry_permanent_faults() {
+        let mut calls = 0;
+        let out: Result<(), _> = Retrier::new(5).run(|_| {
+            calls += 1;
+            Err(EmError::BadBlock { array_id: 0, block: 3 })
+        });
+        assert_eq!(out, Err(EmError::BadBlock { array_id: 0, block: 3 }));
+        assert_eq!(calls, 1, "permanent faults fail fast");
+    }
+
+    #[test]
+    fn global_plan_install_and_clear() {
+        // Serialized within this test binary only; the plan is cleared
+        // before returning so other tests see the ambient default.
+        let plan = FaultPlan::chaos(99, 0.25);
+        install_global_plan(plan);
+        assert_eq!(ambient_plan(), plan);
+        let m = crate::CostModel::new(crate::EmConfig::new(64));
+        assert!(m.fault_plan().is_active());
+        clear_global_plan();
+        let m2 = crate::CostModel::new(crate::EmConfig::new(64));
+        assert!(!m2.fault_plan().is_active());
+    }
+}

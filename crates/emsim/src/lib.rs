@@ -20,6 +20,10 @@
 //!   paper invokes as "k-selection \[8\]" throughout §3–§4.
 //! * [`sort`] — external merge sort with run formation in memory `M` and
 //!   `M/B`-way merging.
+//! * [`fault`] / [`error`] — deterministic fault injection ([`FaultPlan`])
+//!   with typed failures ([`EmError`]) and bounded-retry recovery
+//!   ([`Retrier`]); the `try_*` accessors on [`BlockArray`] / [`BTree`]
+//!   surface injected faults while the infallible API models perfect media.
 //!
 //! The RAM model is obtained, exactly as in §1.1 of the paper, by setting
 //! `B` (and `M`) to small constants.
@@ -30,6 +34,8 @@
 pub mod block;
 pub mod btree;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod pool;
 pub mod select;
 pub mod sort;
@@ -37,4 +43,6 @@ pub mod sort;
 pub use block::BlockArray;
 pub use btree::BTree;
 pub use cost::{credit_thread, thread_charged, CostModel, EmConfig, IoReport, ScopedMeter};
+pub use error::EmError;
+pub use fault::{ambient_plan, clear_global_plan, install_global_plan, FaultPlan, Retrier};
 pub use pool::LruPool;

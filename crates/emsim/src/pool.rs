@@ -48,18 +48,44 @@ impl LruPool {
     /// Returns `true` on a hit (block was resident), `false` on a miss; on a
     /// miss the block is brought in, evicting the LRU block if full.
     pub fn access(&mut self, array_id: u64, block_idx: u64) -> bool {
+        if self.probe(array_id, block_idx) {
+            return true;
+        }
+        self.admit(array_id, block_idx);
+        false
+    }
+
+    /// Hit-only half of [`LruPool::access`]: if the block is resident,
+    /// promote it and count a hit; otherwise change *nothing* (no miss is
+    /// counted). Pair with [`LruPool::admit`] or [`LruPool::record_miss`]
+    /// once the outcome of the disk read is known — the fallible read path
+    /// uses this so a failed read never caches the block it failed to read.
+    pub fn probe(&mut self, array_id: u64, block_idx: u64) -> bool {
         if self.capacity == 0 {
-            self.misses += 1;
             return false;
         }
-        let key = (array_id, block_idx);
-        if let Some(&slot) = self.map.get(&key) {
+        if let Some(&slot) = self.map.get(&(array_id, block_idx)) {
             self.unlink(slot);
             self.push_front(slot);
             self.hits += 1;
             return true;
         }
+        false
+    }
+
+    /// Count a miss without caching anything (a disk read that failed).
+    pub fn record_miss(&mut self) {
         self.misses += 1;
+    }
+
+    /// Count a miss and bring the block in, evicting the LRU block if full.
+    /// (With zero capacity only the miss is counted.)
+    pub fn admit(&mut self, array_id: u64, block_idx: u64) {
+        self.misses += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (array_id, block_idx);
         if self.map.len() == self.capacity {
             let victim = self.tail;
             self.unlink(victim);
@@ -82,7 +108,6 @@ impl LruPool {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
-        false
     }
 
     /// `(hits, misses)` observed so far. Accesses while the pool has zero
@@ -224,6 +249,27 @@ mod tests {
         p.access(0, 0);
         p.access(0, 0);
         assert_eq!(p.stats(), (0, 2));
+    }
+
+    #[test]
+    fn probe_never_admits_and_record_miss_never_caches() {
+        let mut p = LruPool::new(2);
+        assert!(!p.probe(0, 0), "cold probe misses");
+        assert_eq!(p.stats(), (0, 0), "probe alone counts nothing");
+        p.record_miss(); // a failed disk read: cost observed, nothing cached
+        assert_eq!(p.stats(), (0, 1));
+        assert!(!p.probe(0, 0), "failed read did not cache the block");
+        p.admit(0, 0);
+        assert!(p.probe(0, 0), "admit caches");
+        assert_eq!(p.stats(), (1, 2));
+    }
+
+    #[test]
+    fn zero_capacity_admit_counts_but_never_caches() {
+        let mut p = LruPool::new(0);
+        p.admit(0, 0);
+        assert_eq!(p.stats(), (0, 1));
+        assert!(p.is_empty());
     }
 
     #[test]

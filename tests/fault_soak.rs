@@ -1,0 +1,46 @@
+//! Chaos soak: the full experiment registry must survive an *armed* fault
+//! plan — no panics, no missing tables — and, because the infallible
+//! metering path never consults the plan, its I/O counts must stay
+//! bit-identical to a fault-free run (the zero-drift guarantee of the
+//! failure model; see DESIGN.md "Failure model").
+//!
+//! The chaos experiment (`faults`) installs its own explicit plans, so it
+//! too is deterministic under the ambient plan; every other experiment
+//! queries through the infallible accessors, which model perfect media.
+
+use bench::parallel::{all_experiments, default_threads, run_experiments};
+use bench::Scale;
+
+#[test]
+fn registry_soaks_clean_under_injected_faults() {
+    let exps = all_experiments();
+    let threads = default_threads();
+
+    emsim::clear_global_plan();
+    let baseline = run_experiments(exps, Scale::Smoke, threads);
+    for o in &baseline {
+        assert!(o.error.is_none(), "{} panicked fault-free: {:?}", o.name, o.error);
+    }
+
+    for rate in [0.02, 0.2] {
+        emsim::install_global_plan(emsim::FaultPlan::chaos(7, rate));
+        let soaked = run_experiments(exps, Scale::Smoke, threads);
+        emsim::clear_global_plan();
+
+        for (base, soak) in baseline.iter().zip(&soaked) {
+            assert!(
+                soak.error.is_none(),
+                "{} panicked under fault rate {rate}: {:?}",
+                soak.name,
+                soak.error
+            );
+            assert!(!soak.table.is_empty(), "{} lost its table at rate {rate}", soak.name);
+            assert_eq!(
+                (base.ios.reads, base.ios.writes),
+                (soak.ios.reads, soak.ios.writes),
+                "meter drift in {} under armed (but unconsulted) plan, rate {rate}",
+                soak.name
+            );
+        }
+    }
+}
