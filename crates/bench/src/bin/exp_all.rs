@@ -1,4 +1,4 @@
-//! Run every experiment E1–E15 (see DESIGN.md §4), fanned out across
+//! Run every experiment E1–E20 (see DESIGN.md §4), fanned out across
 //! threads, then print the buffered tables in E-order and write a
 //! machine-readable `BENCH_results.json` for cross-PR perf tracking.
 //!
@@ -67,7 +67,7 @@ fn main() {
     );
     let start = std::time::Instant::now();
     let outcomes = run_experiments(&exps, scale, threads);
-    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total_elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
 
     for o in &outcomes {
         o.table.print();
@@ -81,7 +81,7 @@ fn main() {
         summary.row_strings(vec![
             o.name.to_string(),
             if o.error.is_some() { "PANIC".into() } else { "ok".into() },
-            f(o.wall_ms),
+            f(o.elapsed_ms),
             o.ios.reads.to_string(),
             o.ios.writes.to_string(),
             o.ios.total().to_string(),
@@ -90,7 +90,7 @@ fn main() {
     summary.row_strings(vec![
         "TOTAL".into(),
         if outcomes.iter().any(|o| o.error.is_some()) { "PANIC".into() } else { "ok".into() },
-        f(total_wall_ms),
+        f(total_elapsed_ms),
         outcomes.iter().map(|o| o.ios.reads).sum::<u64>().to_string(),
         outcomes.iter().map(|o| o.ios.writes).sum::<u64>().to_string(),
         outcomes.iter().map(|o| o.ios.total()).sum::<u64>().to_string(),
@@ -98,7 +98,7 @@ fn main() {
     summary.print();
 
     if json_path != "-" {
-        let json = render_json(scale, threads, total_wall_ms, &outcomes);
+        let json = render_json(scale, threads, total_elapsed_ms, &outcomes);
         match std::fs::write(&json_path, json) {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => {
@@ -125,17 +125,17 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace has no serde): experiment name →
 /// wall-clock and simulated I/Os, plus run metadata.
-fn render_json(scale: Scale, threads: usize, total_wall_ms: f64, outcomes: &[ExpOutcome]) -> String {
+fn render_json(scale: Scale, threads: usize, total_elapsed_ms: f64, outcomes: &[ExpOutcome]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
-    s.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.1},\n"));
+    s.push_str(&format!("  \"total_elapsed_ms\": {total_elapsed_ms:.1},\n"));
     s.push_str("  \"experiments\": {\n");
     for (i, o) in outcomes.iter().enumerate() {
         s.push_str(&format!(
-            "    \"{}\": {{ \"wall_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {}, \"error\": {} }}{}\n",
+            "    \"{}\": {{ \"elapsed_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {}, \"error\": {} }}{}\n",
             o.name,
-            o.wall_ms,
+            o.elapsed_ms,
             o.ios.reads,
             o.ios.writes,
             o.ios.total(),

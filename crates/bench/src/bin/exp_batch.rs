@@ -1,0 +1,52 @@
+//! Experiment binary: E17, batch amortization (DESIGN.md "Batched
+//! execution & buffer-pool concurrency").
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_batch -- \
+//!     [--batches 1,4,16,64] [--ks 1,8,64]
+//! ```
+//!
+//! Both flags take comma-separated lists; without flags the registry
+//! defaults run (batches 1/4/16/64 × k 1/8/64). `SCALE` works as for
+//! every other experiment binary.
+
+fn parse_list(flag: &str, raw: Option<String>) -> Vec<usize> {
+    raw.map(|s| {
+        s.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| panic!("{flag} needs positive integers, got `{t}`"))
+            })
+            .collect()
+    })
+    .unwrap_or_default()
+}
+
+fn main() {
+    let mut batches: Vec<usize> = Vec::new();
+    let mut ks: Vec<usize> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batches" => batches = parse_list("--batches", args.next()),
+            "--ks" => ks = parse_list("--ks", args.next()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: exp_batch [--batches 1,4,16,64] [--ks 1,8,64]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if batches.is_empty() {
+        batches = vec![1, 4, 16, 64];
+    }
+    if ks.is_empty() {
+        ks = vec![1, 8, 64];
+    }
+
+    let scale = bench::Scale::from_env(bench::Scale::Paper);
+    bench::experiments::batch::run_batch(scale, &batches, &ks).print();
+}

@@ -1,0 +1,190 @@
+//! Contention microbenchmark: mutex-LRU vs sharded-CLOCK buffer pool on a
+//! *shared* meter (DESIGN.md "Batched execution & buffer-pool
+//! concurrency").
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_contention -- \
+//!     [--threads 1,2,4,8] [--shards 64] [--json PATH]
+//! ```
+//!
+//! `T` worker threads hammer one `CostModel` with a deterministic
+//! hot/cold block trace (90% of touches to a hot set that fits in the
+//! pool, 10% to a cold set 4× the pool). Under the default single-mutex
+//! LRU every touch serializes on one lock; under `ShardedClock` the hot
+//! keys spread across shards and threads proceed in parallel. The table
+//! reports throughput (million touches/sec) and scaling vs one thread.
+//!
+//! This binary is deliberately **not** in the `exp_all` registry: its
+//! output is wall-clock, which is machine- and load-dependent, so it
+//! would poison the bit-deterministic golden baselines. CI runs it at
+//! smoke scale and asserts the structural claim only (sharded-CLOCK at 4
+//! threads beats single-thread mutex-LRU throughput).
+//!
+//! Per-thread traces are seeded by thread index, so the *I/O counts* are
+//! deterministic per (policy, threads) cell even though the timings are
+//! not.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use bench::Scale;
+use emsim::{CostModel, EmConfig, PoolPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One worker's trace: 90% hot (fits in the pool), 10% cold (4× pool).
+/// All threads share the same hot set — that is the contended case a
+/// sharded pool exists for.
+fn hammer(model: &CostModel, seed: u64, accesses: usize, hot_blocks: u64, cold_blocks: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..accesses {
+        let block = if rng.gen_range(0..10u32) < 9 {
+            rng.gen_range(0..hot_blocks)
+        } else {
+            hot_blocks + rng.gen_range(0..cold_blocks)
+        };
+        model.touch(0, block);
+    }
+}
+
+struct Cell {
+    policy: &'static str,
+    threads: usize,
+    mtps: f64, // million touches per second
+}
+
+fn run_cell(policy: PoolPolicy, name: &'static str, threads: usize, accesses: usize) -> Cell {
+    let frames = 1_024usize;
+    let hot_blocks = frames as u64 / 2;
+    let cold_blocks = 4 * frames as u64;
+    let model = CostModel::with_policy(EmConfig::with_memory(64, frames), policy);
+
+    // Warm the pool so every timed run starts from the same steady state.
+    hammer(&model, 0xC0_47E0, accesses.min(50_000), hot_blocks, cold_blocks);
+
+    let start_flag = AtomicBool::new(false);
+    let elapsed = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let model = &model;
+                let start_flag = &start_flag;
+                s.spawn(move || {
+                    while !start_flag.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    hammer(model, 0xC0_47E0 + 1 + t as u64, accesses, hot_blocks, cold_blocks);
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        start_flag.store(true, Ordering::Release);
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        start.elapsed()
+    });
+
+    let total = (threads * accesses) as f64;
+    Cell {
+        policy: name,
+        threads,
+        mtps: total / elapsed.as_secs_f64() / 1e6,
+    }
+}
+
+fn main() {
+    let mut threads: Vec<usize> = Vec::new();
+    let mut shards = 64usize;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a comma-separated list")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads needs positive integers"))
+                    .collect();
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .expect("--shards needs a positive integer");
+            }
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: exp_contention [--threads 1,2,4,8] [--shards 64] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if threads.is_empty() {
+        threads = vec![1, 2, 4, 8];
+    }
+    let scale = Scale::from_env(Scale::Paper);
+    let accesses = scale.n(1_600_000);
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "== contention microbenchmark — {accesses} touches/thread, \
+         {shards} shards, {cores} core(s) =="
+    );
+    if cores < 2 {
+        println!(
+            "note: single-core host — sharding removes lock contention but \
+             nothing runs in parallel, so scaling numbers understate the gain"
+        );
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &policy in &[
+        (PoolPolicy::Lru, "mutex-lru"),
+        (PoolPolicy::ShardedClock { shards }, "sharded-clock"),
+    ] {
+        for &t in &threads {
+            let cell = run_cell(policy.0, policy.1, t, accesses);
+            println!(
+                "{:>14}  threads={:<2}  {:>8.2} Mtouch/s",
+                cell.policy, cell.threads, cell.mtps
+            );
+            cells.push(cell);
+        }
+    }
+
+    for name in ["mutex-lru", "sharded-clock"] {
+        let base = cells
+            .iter()
+            .find(|c| c.policy == name && c.threads == threads[0])
+            .map(|c| c.mtps)
+            .unwrap_or(f64::NAN);
+        for c in cells.iter().filter(|c| c.policy == name) {
+            println!(
+                "{:>14}  threads={:<2}  scaling vs t={}: {:.2}x",
+                name,
+                c.threads,
+                threads[0],
+                c.mtps / base
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"threads\": {}, \"mtouch_per_sec\": {:.4}}}{}\n",
+                c.policy,
+                c.threads,
+                c.mtps,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"cores\": {cores}\n}}\n"));
+        std::fs::write(&path, out).expect("write --json output");
+        println!("wrote {path}");
+    }
+}

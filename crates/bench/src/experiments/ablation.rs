@@ -72,14 +72,14 @@ pub fn exp_ablation_inner(scale: Scale) -> Table {
     t
 }
 
-/// **E16.** Fractional cascading ablation (§5.2): the 2D stabbing-max
+/// **E18.** Fractional cascading ablation (§5.2): the 2D stabbing-max
 /// structure with per-node binary searches (`O(log² n)`) vs the cascaded
 /// variant (`O(log n)`), on the same rectangle sets — the query-I/O gap
 /// must widen like `log n`.
 pub fn exp_ablation_cascade(scale: Scale) -> Table {
     let b = 64usize;
     let mut t = Table::new(
-        "E16 — fractional cascading ablation on 2D stabbing max",
+        "E18 — fractional cascading ablation on 2D stabbing max",
         &["n", "plain IO/query", "cascaded IO/query", "speedup"],
     );
     for &n in &crate::experiments::sizes(scale.n(8_192), scale.n(65_536)) {
@@ -108,14 +108,14 @@ pub fn exp_ablation_cascade(scale: Scale) -> Table {
     t
 }
 
-/// **E17.** Substrate ablation on 2D orthogonal ranges: kd-tree
+/// **E19.** Substrate ablation on 2D orthogonal ranges: kd-tree
 /// (`O(√n + t)`, linear space) vs range tree (`O(log² n + t)`,
 /// `O(n log n)` space) under the Theorem 2 reduction. The reduction is
 /// black-box: each assembly inherits its substrate's trade-off.
 pub fn exp_range2d(scale: Scale) -> Table {
     let b = 64usize;
     let mut t = Table::new(
-        "E17 — range2d substrate ablation under Theorem 2 (kd vs range tree)",
+        "E19 — range2d substrate ablation under Theorem 2 (kd vs range tree)",
         &["n", "k", "kd IO/query", "rt IO/query", "kd space", "rt space"],
     );
     for &n in &crate::experiments::sizes(scale.n(8_192), scale.n(65_536)) {
@@ -156,14 +156,14 @@ pub fn exp_range2d(scale: Scale) -> Table {
     t
 }
 
-/// **E18.** Substrate ablation on 3D dominance: kd-tree (linear space,
+/// **E20.** Substrate ablation on 3D dominance: kd-tree (linear space,
 /// `O(n^{2/3}+t)` reporting) vs z-tree-of-range-trees (`O(n log² n)` space,
 /// `O(log³ n + t)` reporting) under Theorem 2 — the paper's §5.3 layered
 /// spirit against our kd substitution (DESIGN.md substitution 5).
 pub fn exp_dominance_substrates(scale: Scale) -> Table {
     let b = 64usize;
     let mut t = Table::new(
-        "E18 — 3D dominance substrate ablation under Theorem 2 (kd vs z-tree)",
+        "E20 — 3D dominance substrate ablation under Theorem 2 (kd vs z-tree)",
         &["n", "k", "kd IO/query", "ztree IO/query", "kd space", "ztree space"],
     );
     for &n in &crate::experiments::sizes(scale.n(8_192), scale.n(32_768)) {

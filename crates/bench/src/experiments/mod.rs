@@ -1,7 +1,8 @@
-//! The experiments E1–E15 (see DESIGN.md §4 for the index).
+//! The experiments E1–E20 (see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod baseline;
+pub mod batch;
 pub mod faults;
 pub mod problems;
 pub mod reductions;

@@ -40,7 +40,7 @@ pub struct Experiment {
     pub run: fn(Scale) -> Table,
 }
 
-/// The full registry, in the E1–E15 order of DESIGN.md §4.
+/// The full registry, in the E1–E20 order of DESIGN.md §4.
 pub fn all_experiments() -> &'static [Experiment] {
     &[
         Experiment { name: "lemma1", run: experiments::sampling::exp_lemma1 },
@@ -62,6 +62,7 @@ pub fn all_experiments() -> &'static [Experiment] {
         Experiment { name: "dominance_substrates", run: experiments::ablation::exp_dominance_substrates },
         Experiment { name: "space", run: experiments::space::exp_space },
         Experiment { name: "faults", run: experiments::faults::exp_faults },
+        Experiment { name: "batch", run: experiments::batch::exp_batch },
     ]
 }
 
@@ -75,7 +76,7 @@ pub struct ExpOutcome {
     /// the experiment panicked).
     pub table: Table,
     /// Wall-clock of this experiment alone, in milliseconds.
-    pub wall_ms: f64,
+    pub elapsed_ms: f64,
     /// Simulated I/Os charged while it ran.
     pub ios: IoReport,
     /// The panic message, if the experiment panicked instead of returning.
@@ -129,12 +130,12 @@ pub fn run_experiments(exps: &[Experiment], scale: Scale, threads: usize) -> Vec
                         Some(panic_message(payload)),
                     ),
                 };
-                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 let ios = emsim::thread_charged().since(&io_before);
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(ExpOutcome {
                     name: exp.name,
                     table,
-                    wall_ms,
+                    elapsed_ms,
                     ios,
                     error,
                 });
@@ -234,6 +235,46 @@ mod tests {
         assert_eq!(d.writes, 8);
     }
 
+    /// Scoped child meters under a *sharded* pool policy roll up into the
+    /// parent with zero drift: the parent's totals equal the sum of the
+    /// per-trial reports exactly, and parallel fan-out is bit-identical to
+    /// sequential. (The sharded pool's absorbed-stats path is what makes
+    /// this exact — child pool hits/misses fold into pool-level counters
+    /// without disturbing per-shard stats.)
+    #[test]
+    fn map_trials_scoped_sharded_meters_roll_up_without_drift() {
+        use emsim::PoolPolicy;
+
+        let run = |threads: usize| {
+            let parent = CostModel::with_policy(
+                EmConfig::with_memory(64, 8),
+                PoolPolicy::sharded_default(),
+            );
+            let reports = map_trials((0..16u64).collect::<Vec<_>>(), threads, |i, x| {
+                let trial = parent.scoped();
+                assert_eq!(trial.pool_policy(), parent.pool_policy());
+                for j in 0..(8 + i as u64 % 4) {
+                    trial.touch(x, j % 4); // first touch of the block: miss
+                    trial.touch(x, j % 4); // immediate re-touch: shard hit
+                }
+                trial.charge_writes(i as u64);
+                trial.report()
+            });
+            (parent.report(), reports)
+        };
+
+        let (seq_total, seq_reports) = run(1);
+        let (par_total, par_reports) = run(4);
+        assert_eq!(seq_total, par_total, "thread count changed the totals");
+        assert_eq!(seq_reports, par_reports, "thread count changed a trial");
+
+        let sum = seq_reports
+            .iter()
+            .fold(IoReport::default(), |acc, r| acc + *r);
+        assert_eq!(seq_total, sum, "parent totals drifted from child sum");
+        assert!(sum.pool_hits > 0 && sum.pool_misses > 0);
+    }
+
     #[test]
     fn panicking_experiment_is_captured_not_fatal() {
         fn boom(_: Scale) -> Table {
@@ -262,10 +303,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_uniquely_named() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 19);
+        assert_eq!(exps.len(), 20);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "duplicate experiment names");
+        assert_eq!(names.len(), 20, "duplicate experiment names");
     }
 }

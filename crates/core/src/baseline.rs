@@ -13,6 +13,7 @@
 
 use emsim::{select, BlockArray, CostModel, EmError, Retrier};
 
+use crate::batch::{BatchKey, BatchTopK};
 use crate::traits::{
     Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer, TopKIndex,
     Weight,
@@ -187,6 +188,17 @@ where
     }
 }
 
+/// Batched queries via locality-ordered execution: adjacent probes of the
+/// binary search re-read the same sorted-weight blocks and prioritized
+/// structure prefix, which the buffer pool amortizes across the batch.
+impl<E, Q, PB> BatchTopK<E, Q> for BinarySearchTopK<E, Q, PB>
+where
+    E: Element,
+    Q: BatchKey,
+    PB: PrioritizedBuilder<E, Q>,
+{
+}
+
 /// The trivial scan baseline.
 pub struct ScanTopK<E, Q, F>
 where
@@ -272,6 +284,104 @@ where
                     items,
                     extra_ios: self.model.report().total().saturating_sub(mark),
                 })
+            }
+        }
+    }
+}
+
+/// True algorithmic batching for the scan baseline: one shared `O(n/B)`
+/// pass over `D` collects the candidate list of *every* query in the
+/// batch, then k-selects each — `O(n/B + m·cost(select))` for `m` queries
+/// instead of `m` full scans. Each query's candidate list is identical to
+/// what its solo scan would collect (same data, same order), and
+/// k-selection is deterministic given its candidates, so batch answers are
+/// bit-identical to one-at-a-time answers.
+impl<E, Q, F> BatchTopK<E, Q> for ScanTopK<E, Q, F>
+where
+    E: Element,
+    Q: BatchKey,
+    F: Fn(&Q, &E) -> bool,
+{
+    fn query_topk_batch(&self, queries: &[Q], k: usize) -> Vec<Vec<E>> {
+        let mut candidates: Vec<Vec<E>> = queries.iter().map(|_| Vec::new()).collect();
+        if k > 0 && !queries.is_empty() {
+            self.data.scan(|e| {
+                for (q, c) in queries.iter().zip(candidates.iter_mut()) {
+                    if (self.matches)(q, e) {
+                        c.push(e.clone());
+                    }
+                }
+            });
+        }
+        candidates
+            .into_iter()
+            .map(|c| {
+                if k == 0 {
+                    Vec::new()
+                } else {
+                    select::top_k_by_weight(&self.model, &c, k, Element::weight)
+                }
+            })
+            .collect()
+    }
+
+    fn try_query_topk_batch(
+        &self,
+        queries: &[Q],
+        k: usize,
+        retrier: &Retrier,
+    ) -> Vec<Result<TopKAnswer<E>, EmError>> {
+        if k == 0 || queries.is_empty() {
+            return queries
+                .iter()
+                .map(|_| Ok(TopKAnswer::Exact(Vec::new())))
+                .collect();
+        }
+        let mut candidates: Vec<Vec<E>> = queries.iter().map(|_| Vec::new()).collect();
+        let scan = self.data.try_scan_while(0, self.data.len(), retrier, |e| {
+            for (q, c) in queries.iter().zip(candidates.iter_mut()) {
+                if (self.matches)(q, e) {
+                    c.push(e.clone());
+                }
+            }
+            true
+        });
+        match scan {
+            Ok(_) => candidates
+                .iter()
+                .map(|c| {
+                    Ok(TopKAnswer::Exact(select::top_k_by_weight(
+                        &self.model,
+                        c,
+                        k,
+                        Element::weight,
+                    )))
+                })
+                .collect(),
+            Err((_, e)) => {
+                // The shared scan died at an unreadable block. Everything
+                // gathered before it is a genuine prefix for every query,
+                // so each degrades to its own partial candidates (or `Err`
+                // if it had none yet) — the same ladder as the solo path.
+                let mark = self.model.report().total();
+                candidates
+                    .iter()
+                    .map(|c| {
+                        if c.is_empty() {
+                            Err(e)
+                        } else {
+                            Ok(TopKAnswer::Degraded {
+                                items: select::top_k_by_weight(
+                                    &self.model,
+                                    c,
+                                    k,
+                                    Element::weight,
+                                ),
+                                extra_ios: self.model.report().total().saturating_sub(mark),
+                            })
+                        }
+                    })
+                    .collect()
             }
         }
     }

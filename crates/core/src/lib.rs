@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod brute;
 pub mod coreset;
 pub mod counting;
@@ -65,6 +66,7 @@ pub mod toy;
 pub mod traits;
 
 pub use baseline::{BinarySearchTopK, ScanTopK};
+pub use batch::{locality_order, BatchKey, BatchTopK};
 pub use coreset::{core_set, CoreSetParams};
 pub use counting::{CountingTopK, RepCntBuilder, RepCntIndex, SampledCounter};
 pub use emsim::{CostModel, EmConfig, EmError, FaultPlan, IoReport, Retrier};

@@ -624,6 +624,19 @@ where
     }
 }
 
+/// Batched queries via locality-ordered execution: adjacent queries reuse
+/// the hierarchy's upper-level and ladder-rung blocks through the buffer
+/// pool (the structure shares its levels across all queries, so a batch
+/// pays for each shared block once). Answers stay bit-identical to
+/// one-at-a-time queries — only the pool hit pattern changes.
+impl<E, Q, PB> crate::batch::BatchTopK<E, Q> for WorstCaseTopK<E, Q, PB>
+where
+    E: Element,
+    Q: crate::batch::BatchKey,
+    PB: PrioritizedBuilder<E, Q>,
+{
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -469,6 +469,20 @@ where
     }
 }
 
+/// Batched queries via locality-ordered execution: the round procedure of
+/// every query walks the same geometric sample structures `R_j` head
+/// first, so adjacent queries re-hit the dense upper blocks of each
+/// sample through the buffer pool. Answers stay bit-identical to
+/// one-at-a-time queries.
+impl<E, Q, PB, MB> crate::batch::BatchTopK<E, Q> for ExpectedTopK<E, Q, PB, MB>
+where
+    E: Element,
+    Q: crate::batch::BatchKey,
+    PB: PrioritizedBuilder<E, Q>,
+    MB: MaxBuilder<E, Q>,
+{
+}
+
 impl<E, Q, PB, MB> DynamicIndex<E> for ExpectedTopK<E, Q, PB, MB>
 where
     E: Element,

@@ -44,6 +44,21 @@ pub struct PrefixQuery {
     pub x_max: u64,
 }
 
+/// All-queries are indistinguishable; any constant key batches them.
+impl crate::batch::BatchKey for AllQuery {
+    fn batch_key(&self) -> u64 {
+        0
+    }
+}
+
+/// Prefix queries with nearby `x_max` read near-identical prefixes of the
+/// weight-descending array, so `x_max` itself is the locality key.
+impl crate::batch::BatchKey for PrefixQuery {
+    fn batch_key(&self) -> u64 {
+        self.x_max
+    }
+}
+
 /// Elements sorted descending by weight, in blocks. The shared
 /// representation of both toy problems' structures.
 pub struct WeightSortedArray {

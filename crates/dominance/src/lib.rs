@@ -198,7 +198,7 @@ impl TopKIndex<Hotel, [f64; 3]> for TopKDominance {
 /// nodes carry 2D range trees on (x, y) — prioritized dominance reporting
 /// in `O(log³ n + t)` and max in `O(log³ n)`, using `O(n log² n)` space.
 /// The polylog counterpart to the linear-space kd substrate
-/// ([`DomPri`]/[`DomMax`]); `exp_dominance_substrates` (E18) measures the
+/// ([`DomPri`]/[`DomMax`]); `exp_dominance_substrates` (E20) measures the
 /// trade-off under Theorem 2.
 pub struct DomZTree {
     /// Nodes of a balanced BST over z; `nodes[u] = (z_lo, z_hi, 2D tree,

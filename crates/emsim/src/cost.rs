@@ -32,13 +32,126 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use crate::error::EmError;
 use crate::fault::{self, FaultPlan};
 use crate::pool::LruPool;
+use crate::sharded::ShardedPool;
 
 /// Lock a mutex, recovering from poisoning: the protected state (counters,
 /// LRU recency lists, fault plans) stays internally consistent across a
 /// panic, so a worker thread that dies mid-experiment must not cascade the
 /// poison into every other experiment sharing the meter.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which buffer-pool implementation a [`CostModel`] routes block touches
+/// through. See DESIGN.md "Batched execution & buffer-pool concurrency".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolPolicy {
+    /// One exact-LRU pool behind a single mutex — the default. Golden I/O
+    /// baselines (`golden_smoke_ios.json`) and the fault-soak determinism
+    /// checks are recorded against exact-LRU residency, so this policy must
+    /// stay the default: its hit/miss outcomes are what those pins mean.
+    #[default]
+    Lru,
+    /// [`ShardedPool`]: `shards` independently-locked CLOCK rings keyed by
+    /// a hash of `(array_id, block_idx)`. For meters shared by many query
+    /// threads; eviction approximates LRU (second chance), so residency —
+    /// and thus hit counts under eviction pressure — may differ from
+    /// [`PoolPolicy::Lru`].
+    ShardedClock {
+        /// Number of shards (each gets an equal slice of the `M/B` frames).
+        shards: usize,
+    },
+}
+
+impl PoolPolicy {
+    /// A sharded pool with a shard count suited to multi-thread runs:
+    /// enough shards that a preempted lock-holder rarely blocks anyone.
+    pub fn sharded_default() -> Self {
+        PoolPolicy::ShardedClock { shards: 16 }
+    }
+}
+
+/// The buffer pool behind a meter, dispatched on [`PoolPolicy`]. The LRU
+/// arm must stay charge-for-charge identical to the pre-policy code path.
+#[derive(Debug)]
+enum PoolImpl {
+    Lru(Mutex<LruPool>),
+    Sharded(ShardedPool),
+}
+
+impl PoolImpl {
+    fn new(policy: PoolPolicy, capacity: usize) -> Self {
+        match policy {
+            PoolPolicy::Lru => PoolImpl::Lru(Mutex::new(LruPool::new(capacity))),
+            PoolPolicy::ShardedClock { shards } => {
+                PoolImpl::Sharded(ShardedPool::new(capacity, shards))
+            }
+        }
+    }
+
+    fn access(&self, array_id: u64, block_idx: u64) -> bool {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).access(array_id, block_idx),
+            PoolImpl::Sharded(p) => p.access(array_id, block_idx),
+        }
+    }
+
+    fn probe(&self, array_id: u64, block_idx: u64) -> bool {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).probe(array_id, block_idx),
+            PoolImpl::Sharded(p) => p.probe(array_id, block_idx),
+        }
+    }
+
+    fn admit(&self, array_id: u64, block_idx: u64) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).admit(array_id, block_idx),
+            PoolImpl::Sharded(p) => p.admit(array_id, block_idx),
+        }
+    }
+
+    fn record_miss(&self, array_id: u64, block_idx: u64) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).record_miss(),
+            PoolImpl::Sharded(p) => p.record_miss(array_id, block_idx),
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).stats(),
+            PoolImpl::Sharded(p) => p.stats(),
+        }
+    }
+
+    /// Per-shard `(hits, misses)`; the LRU pool is one "shard".
+    fn shard_stats(&self) -> Vec<(u64, u64)> {
+        match self {
+            PoolImpl::Lru(p) => vec![lock_recover(p).stats()],
+            PoolImpl::Sharded(p) => p.shard_stats(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).reset_stats(),
+            PoolImpl::Sharded(p) => p.reset_stats(),
+        }
+    }
+
+    fn absorb_stats(&self, hits: u64, misses: u64) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).absorb_stats(hits, misses),
+            PoolImpl::Sharded(p) => p.absorb_stats(hits, misses),
+        }
+    }
+
+    fn clear(&self) {
+        match self {
+            PoolImpl::Lru(p) => lock_recover(p).clear(),
+            PoolImpl::Sharded(p) => p.clear(),
+        }
+    }
 }
 
 /// Parameters of the external-memory machine.
@@ -118,9 +231,10 @@ fn tally_writes(n: u64) {
 #[derive(Debug)]
 struct Inner {
     config: EmConfig,
+    policy: PoolPolicy,
     reads: AtomicU64,
     writes: AtomicU64,
-    pool: Mutex<LruPool>,
+    pool: PoolImpl,
     next_array_id: AtomicU64,
     /// Fast path: skip the trace mutex entirely unless tracing is on.
     tracing: AtomicBool,
@@ -218,12 +332,23 @@ impl CostModel {
 
     /// Create a meter whose fallible accessors are subject to `plan`.
     pub fn with_faults(config: EmConfig, plan: FaultPlan) -> Self {
+        CostModel::with_faults_and_policy(config, plan, PoolPolicy::default())
+    }
+
+    /// Create a meter with an explicit buffer-pool policy (ambient faults).
+    pub fn with_policy(config: EmConfig, policy: PoolPolicy) -> Self {
+        CostModel::with_faults_and_policy(config, fault::ambient_plan(), policy)
+    }
+
+    /// The fully-general constructor: machine, fault plan, and pool policy.
+    pub fn with_faults_and_policy(config: EmConfig, plan: FaultPlan, policy: PoolPolicy) -> Self {
         CostModel {
             inner: Arc::new(Inner {
                 config,
+                policy,
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
-                pool: Mutex::new(LruPool::new(config.mem_blocks)),
+                pool: PoolImpl::new(policy, config.mem_blocks),
                 next_array_id: AtomicU64::new(0),
                 tracing: AtomicBool::new(false),
                 trace: Mutex::new(None),
@@ -262,6 +387,20 @@ impl CostModel {
         self.inner.config
     }
 
+    /// The buffer-pool policy this meter was built with.
+    pub fn pool_policy(&self) -> PoolPolicy {
+        self.inner.policy
+    }
+
+    /// Per-shard `(hits, misses)` of the buffer pool, in shard order — the
+    /// load-balance view for [`PoolPolicy::ShardedClock`] meters. An LRU
+    /// meter reports its single pool as one shard. Statistics absorbed from
+    /// scoped children are excluded (they have no shard); the totals in
+    /// [`CostModel::report`] include them.
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.inner.pool.shard_stats()
+    }
+
     /// Words per block (`B`).
     pub fn b(&self) -> usize {
         self.inner.config.b
@@ -283,8 +422,13 @@ impl CostModel {
         ScopedMeter {
             // The child inherits this meter's fault plan (not the ambient
             // one), so a trial fanned out under an explicitly-armed meter
-            // sees the same fault universe.
-            child: CostModel::with_faults(self.inner.config, self.fault_plan()),
+            // sees the same fault universe — and its pool policy, so
+            // sharded-mode trials measure sharded-mode residency.
+            child: CostModel::with_faults_and_policy(
+                self.inner.config,
+                self.fault_plan(),
+                self.inner.policy,
+            ),
             parent: self.clone(),
         }
     }
@@ -295,7 +439,7 @@ impl CostModel {
         self.inner.reads.fetch_add(r.reads, Relaxed);
         self.inner.writes.fetch_add(r.writes, Relaxed);
         self.inner.faults.fetch_add(r.faults, Relaxed);
-        lock_recover(&self.inner.pool).absorb_stats(r.pool_hits, r.pool_misses);
+        self.inner.pool.absorb_stats(r.pool_hits, r.pool_misses);
     }
 
     /// Charge the read of one specific block, going through the buffer pool:
@@ -304,11 +448,8 @@ impl CostModel {
     /// This path models fault-free media — it never consults the fault plan
     /// and never fails. Use [`CostModel::try_touch`] for fallible reads.
     pub fn touch(&self, array_id: u64, block_idx: u64) {
-        if self.inner.config.mem_blocks != 0 {
-            let mut pool = lock_recover(&self.inner.pool);
-            if pool.access(array_id, block_idx) {
-                return; // pool hit: free
-            }
+        if self.inner.config.mem_blocks != 0 && self.inner.pool.access(array_id, block_idx) {
+            return; // pool hit: free
         }
         self.inner.reads.fetch_add(1, Relaxed);
         tally_reads(1);
@@ -336,7 +477,7 @@ impl CostModel {
             return Ok(());
         }
         let pooled = self.inner.config.mem_blocks != 0;
-        if pooled && lock_recover(&self.inner.pool).probe(array_id, block_idx) {
+        if pooled && self.inner.pool.probe(array_id, block_idx) {
             return Ok(());
         }
         let outcome = self
@@ -346,10 +487,9 @@ impl CostModel {
         self.inner.reads.fetch_add(1, Relaxed);
         tally_reads(1);
         if pooled {
-            let mut pool = lock_recover(&self.inner.pool);
             match outcome {
-                Ok(()) => pool.admit(array_id, block_idx),
-                Err(_) => pool.record_miss(),
+                Ok(()) => self.inner.pool.admit(array_id, block_idx),
+                Err(_) => self.inner.pool.record_miss(array_id, block_idx),
             }
         }
         match outcome {
@@ -416,7 +556,7 @@ impl CostModel {
 
     /// Read the counters.
     pub fn report(&self) -> IoReport {
-        let (pool_hits, pool_misses) = lock_recover(&self.inner.pool).stats();
+        let (pool_hits, pool_misses) = self.inner.pool.stats();
         IoReport {
             reads: self.inner.reads.load(Relaxed),
             writes: self.inner.writes.load(Relaxed),
@@ -439,13 +579,13 @@ impl CostModel {
         self.inner.reads.store(0, Relaxed);
         self.inner.writes.store(0, Relaxed);
         self.inner.faults.store(0, Relaxed);
-        lock_recover(&self.inner.pool).reset_stats();
+        self.inner.pool.reset_stats();
     }
 
     /// Empty the buffer pool, so the next measurement starts cold. Hit/miss
     /// statistics are kept; [`CostModel::reset`] zeroes those.
     pub fn clear_pool(&self) {
-        lock_recover(&self.inner.pool).clear();
+        self.inner.pool.clear();
     }
 
     /// Run `f` and return its result together with the I/Os it charged.
@@ -761,9 +901,17 @@ mod tests {
                 let _trace;
                 let _fault;
                 match mutex {
-                    "pool" => _pool = m2.inner.pool.lock().unwrap(),
-                    "trace" => _trace = m2.inner.trace.lock().unwrap(),
-                    _ => _fault = m2.inner.fault.lock().unwrap(),
+                    // lock_recover (not lock().unwrap()) here too: a helper
+                    // that unwraps would itself panic on a lock poisoned by
+                    // an *earlier* iteration, defeating what this verifies.
+                    "pool" => {
+                        _pool = match &m2.inner.pool {
+                            PoolImpl::Lru(p) => lock_recover(p),
+                            PoolImpl::Sharded(_) => unreachable!("default policy is LRU"),
+                        }
+                    }
+                    "trace" => _trace = lock_recover(&m2.inner.trace),
+                    _ => _fault = lock_recover(&m2.inner.fault),
                 }
                 panic!("worker dies holding the {mutex} lock");
             })
@@ -778,6 +926,52 @@ mod tests {
         m.reset();
         m.clear_pool();
         assert_eq!(m.report().reads, 0);
+    }
+
+    #[test]
+    fn sharded_policy_pools_hits_and_reports_per_shard() {
+        let m = CostModel::with_policy(
+            EmConfig::with_memory(64, 8),
+            PoolPolicy::ShardedClock { shards: 4 },
+        );
+        assert_eq!(m.pool_policy(), PoolPolicy::ShardedClock { shards: 4 });
+        m.touch(0, 0);
+        m.touch(0, 0); // resident: free
+        let r = m.report();
+        assert_eq!(r.reads, 1);
+        assert_eq!((r.pool_hits, r.pool_misses), (1, 1));
+        let per = m.shard_stats();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().map(|s| s.0 + s.1).sum::<u64>(), 2);
+        m.clear_pool();
+        m.touch(0, 0); // cold again
+        assert_eq!(m.report().reads, 2);
+    }
+
+    #[test]
+    fn lru_meter_reports_one_shard() {
+        let m = CostModel::new(EmConfig::with_memory(64, 4));
+        assert_eq!(m.pool_policy(), PoolPolicy::Lru);
+        m.touch(0, 0);
+        m.touch(0, 0);
+        assert_eq!(m.shard_stats(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn scoped_child_inherits_pool_policy_and_rolls_up() {
+        let parent =
+            CostModel::with_policy(EmConfig::with_memory(64, 8), PoolPolicy::sharded_default());
+        {
+            let trial = parent.scoped();
+            assert_eq!(trial.pool_policy(), PoolPolicy::sharded_default());
+            trial.touch(0, 0);
+            trial.touch(0, 0);
+        }
+        let r = parent.report();
+        assert_eq!(r.reads, 1);
+        assert_eq!((r.pool_hits, r.pool_misses), (1, 1));
+        // Rolled-up stats are absorbed, not attributed to any parent shard.
+        assert_eq!(parent.shard_stats().iter().map(|s| s.0 + s.1).sum::<u64>(), 0);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   handed a `CostModel` at build time and charges block fetches to it.
 //! * [`BlockArray`] — a typed array packed `⌊B / words(T)⌋` items per block;
 //!   scans and random accesses charge the meter per *distinct block touched*,
-//!   optionally filtered through an LRU buffer pool of `M/B` frames.
+//!   optionally filtered through a buffer pool of `M/B` frames. The pool is
+//!   exact LRU by default; [`PoolPolicy::ShardedClock`] swaps in a
+//!   [`ShardedPool`] (per-shard locks, CLOCK eviction) for meters shared by
+//!   many query threads.
 //! * [`BTree`] — an external B-tree (fanout `Θ(B)`) with search, range
 //!   reporting, insert and delete, charging one I/O per node visited.
 //! * [`select`] — EM k-selection (`O(n/B)` I/Os expected), the primitive the
@@ -38,11 +41,15 @@ pub mod error;
 pub mod fault;
 pub mod pool;
 pub mod select;
+pub mod sharded;
 pub mod sort;
 
 pub use block::BlockArray;
 pub use btree::BTree;
-pub use cost::{credit_thread, thread_charged, CostModel, EmConfig, IoReport, ScopedMeter};
+pub use cost::{
+    credit_thread, thread_charged, CostModel, EmConfig, IoReport, PoolPolicy, ScopedMeter,
+};
 pub use error::EmError;
 pub use fault::{ambient_plan, clear_global_plan, install_global_plan, FaultPlan, Retrier};
 pub use pool::LruPool;
+pub use sharded::ShardedPool;

@@ -1,0 +1,399 @@
+//! A sharded buffer pool with CLOCK (second-chance) eviction.
+//!
+//! [`crate::LruPool`] models residency exactly but serializes every access
+//! behind one mutex — fine for single-thread measurements, hostile to a
+//! meter shared by many query threads. `ShardedPool` splits the `M/B`
+//! frames into `N` shards keyed by a hash of `(array_id, block_idx)`; each
+//! shard has its own lock, so threads touching different shards never
+//! contend, and the hot hit path does one hash, one short critical
+//! section, and one atomic reference-bit store.
+//!
+//! Within a shard, eviction is CLOCK/second-chance: frames sit on a
+//! circular list with an atomic reference bit that [`ShardedPool::probe`]
+//! sets on every hit; the clock hand sweeps on [`ShardedPool::admit`],
+//! clearing set bits and evicting the first frame whose bit is already
+//! clear. CLOCK approximates LRU without maintaining a recency list, which
+//! is exactly why real buffer managers use it under concurrency.
+//!
+//! Semantics match `LruPool` access-for-access: `probe` counts a hit only
+//! when resident and changes nothing on a miss, `admit` counts a miss and
+//! caches, `record_miss` counts a miss without caching (failed reads), and
+//! zero capacity caches nothing while still counting misses. The one
+//! intended divergence is the *eviction order* under pressure: CLOCK gives
+//! recently-referenced frames a second chance instead of exact LRU order.
+//! While no eviction occurs the two are indistinguishable — the property
+//! test `pool_property.rs` pins that equivalence.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::cost::lock_recover;
+
+/// One cached block: its key and the CLOCK reference bit.
+#[derive(Debug)]
+struct ClockFrame {
+    key: (u64, u64),
+    referenced: AtomicBool,
+}
+
+/// One shard: a CLOCK ring plus its hit/miss counters, all behind the
+/// shard's mutex (counters included, so a shard update is one lock, no
+/// extra atomic traffic).
+#[derive(Debug)]
+struct ClockShard {
+    capacity: usize,
+    map: HashMap<(u64, u64), usize>,
+    frames: Vec<ClockFrame>,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClockShard {
+    fn new(capacity: usize) -> Self {
+        ClockShard {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            frames: Vec::with_capacity(capacity),
+            hand: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn probe(&mut self, key: (u64, u64)) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.frames[slot].referenced.store(true, Relaxed);
+            self.hits += 1;
+            return true;
+        }
+        false
+    }
+
+    fn admit(&mut self, key: (u64, u64)) {
+        self.misses += 1;
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.frames.len() < self.capacity {
+            self.map.insert(key, self.frames.len());
+            self.frames.push(ClockFrame {
+                key,
+                referenced: AtomicBool::new(true),
+            });
+            return;
+        }
+        // Second-chance sweep: clear set bits as the hand passes; evict the
+        // first frame found with its bit already clear. Terminates within
+        // two sweeps (the first sweep clears every bit it sees).
+        loop {
+            let frame = &self.frames[self.hand];
+            if frame.referenced.swap(false, Relaxed) {
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else {
+                self.map.remove(&frame.key);
+                self.map.insert(key, self.hand);
+                self.frames[self.hand] = ClockFrame {
+                    key,
+                    referenced: AtomicBool::new(true),
+                };
+                self.hand = (self.hand + 1) % self.frames.len();
+                return;
+            }
+        }
+    }
+}
+
+/// A concurrent buffer pool: `N` independently-locked CLOCK shards.
+///
+/// Selected on a [`crate::CostModel`] via
+/// [`crate::PoolPolicy::ShardedClock`]; the single-mutex
+/// [`crate::LruPool`] stays the default so golden I/O baselines keep their
+/// exact-LRU residency. All methods take `&self` — interior mutability per
+/// shard is the point.
+#[derive(Debug)]
+pub struct ShardedPool {
+    shards: Vec<Mutex<ClockShard>>,
+    /// Statistics folded in from scoped child meters ([`ShardedPool::
+    /// absorb_stats`]); kept out of the per-shard counters so
+    /// [`ShardedPool::shard_stats`] reports only this pool's own traffic.
+    absorbed_hits: AtomicU64,
+    absorbed_misses: AtomicU64,
+}
+
+impl ShardedPool {
+    /// A pool of `capacity` total frames split over `shards` shards (frame
+    /// counts differ by at most one across shards). Capacity 0 caches
+    /// nothing; `shards` must be at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded pool needs at least one shard");
+        let shards = (0..shards)
+            .map(|i| {
+                let cap = capacity / shards + usize::from(i < capacity % shards);
+                Mutex::new(ClockShard::new(cap))
+            })
+            .collect();
+        ShardedPool {
+            shards,
+            absorbed_hits: AtomicU64::new(0),
+            absorbed_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frame capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| lock_recover(s).capacity).sum()
+    }
+
+    /// SplitMix64-style finalizer over the packed key, so consecutive
+    /// `block_idx` values of one array spread across shards instead of
+    /// convoying on one lock.
+    fn shard_index(&self, array_id: u64, block_idx: u64) -> usize {
+        let mut z = array_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(block_idx);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
+    }
+
+    /// Record an access: `true` on a hit, `false` on a miss (the block is
+    /// brought in, evicting by CLOCK if the shard is full).
+    pub fn access(&self, array_id: u64, block_idx: u64) -> bool {
+        let key = (array_id, block_idx);
+        let mut shard = lock_recover(&self.shards[self.shard_index(array_id, block_idx)]);
+        if shard.probe(key) {
+            return true;
+        }
+        shard.admit(key);
+        false
+    }
+
+    /// Hit-only half of [`ShardedPool::access`]: on a hit, set the
+    /// reference bit and count the hit; on a miss change *nothing* (pair
+    /// with [`ShardedPool::admit`] or [`ShardedPool::record_miss`] once the
+    /// disk read's outcome is known, mirroring [`crate::LruPool::probe`]).
+    pub fn probe(&self, array_id: u64, block_idx: u64) -> bool {
+        lock_recover(&self.shards[self.shard_index(array_id, block_idx)])
+            .probe((array_id, block_idx))
+    }
+
+    /// Count a miss on the owning shard without caching anything (a disk
+    /// read that failed must not cache the block it failed to read).
+    pub fn record_miss(&self, array_id: u64, block_idx: u64) {
+        lock_recover(&self.shards[self.shard_index(array_id, block_idx)]).misses += 1;
+    }
+
+    /// Count a miss and bring the block in, evicting by CLOCK if the shard
+    /// is full. (With zero capacity only the miss is counted.)
+    pub fn admit(&self, array_id: u64, block_idx: u64) {
+        lock_recover(&self.shards[self.shard_index(array_id, block_idx)])
+            .admit((array_id, block_idx));
+    }
+
+    /// Total `(hits, misses)` across all shards, plus anything absorbed
+    /// from scoped children.
+    pub fn stats(&self) -> (u64, u64) {
+        let mut hits = self.absorbed_hits.load(Relaxed);
+        let mut misses = self.absorbed_misses.load(Relaxed);
+        for shard in &self.shards {
+            let s = lock_recover(shard);
+            hits += s.hits;
+            misses += s.misses;
+        }
+        (hits, misses)
+    }
+
+    /// Per-shard `(hits, misses)` in shard order — the load-balance view
+    /// (absorbed child statistics are excluded; they have no shard).
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = lock_recover(s);
+                (s.hits, s.misses)
+            })
+            .collect()
+    }
+
+    /// Zero all hit/miss statistics (residency is untouched).
+    pub fn reset_stats(&self) {
+        self.absorbed_hits.store(0, Relaxed);
+        self.absorbed_misses.store(0, Relaxed);
+        for shard in &self.shards {
+            let mut s = lock_recover(shard);
+            s.hits = 0;
+            s.misses = 0;
+        }
+    }
+
+    /// Fold a scoped child meter's pool statistics into this pool.
+    pub fn absorb_stats(&self, hits: u64, misses: u64) {
+        self.absorbed_hits.fetch_add(hits, Relaxed);
+        self.absorbed_misses.fetch_add(misses, Relaxed);
+    }
+
+    /// Evict everything. Hit/miss statistics are kept.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = lock_recover(shard);
+            s.map.clear();
+            s.frames.clear();
+            s.hand = 0;
+        }
+    }
+
+    /// Number of resident blocks across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
+    }
+
+    /// Whether no block is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_splits_evenly_across_shards() {
+        let p = ShardedPool::new(10, 4);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.capacity(), 10);
+        let p1 = ShardedPool::new(7, 1);
+        assert_eq!(p1.capacity(), 7);
+    }
+
+    #[test]
+    fn hit_after_miss_and_zero_capacity_counts_misses() {
+        let p = ShardedPool::new(4, 2);
+        assert!(!p.access(0, 7));
+        assert!(p.access(0, 7));
+        assert_eq!(p.stats(), (1, 1));
+
+        let z = ShardedPool::new(0, 2);
+        assert!(!z.access(0, 0));
+        assert!(!z.access(0, 0));
+        assert_eq!(z.stats(), (0, 2));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn probe_never_admits_and_record_miss_never_caches() {
+        let p = ShardedPool::new(4, 2);
+        assert!(!p.probe(0, 0), "cold probe misses");
+        assert_eq!(p.stats(), (0, 0), "probe alone counts nothing");
+        p.record_miss(0, 0);
+        assert_eq!(p.stats(), (0, 1));
+        assert!(!p.probe(0, 0), "failed read did not cache the block");
+        p.admit(0, 0);
+        assert!(p.probe(0, 0), "admit caches");
+        assert_eq!(p.stats(), (1, 2));
+    }
+
+    #[test]
+    fn clock_eviction_is_second_chance_not_lru() {
+        // One shard of 2 frames; admission sets the reference bit. After
+        // [admit 1, admit 2, probe 1] every bit is set, so admitting 3
+        // sweeps the full ring clearing bits and evicts the frame the hand
+        // started on (block 1) — FIFO-like, NOT the LRU victim (block 2).
+        let p = ShardedPool::new(2, 1);
+        p.admit(0, 1);
+        p.admit(0, 2);
+        assert!(p.probe(0, 1));
+        p.admit(0, 3);
+        assert!(!p.probe(0, 1), "block 1 was evicted");
+        assert!(p.probe(0, 2), "block 2 survived (second chance)");
+        assert!(p.probe(0, 3), "block 3 is resident");
+
+        // Ring is now [3, 2] with both bits set (the probes above) and the
+        // hand at slot 1: admitting 4 clears 2 then 3, wraps, evicts 2.
+        p.admit(0, 4);
+        assert!(!p.probe(0, 2));
+        assert!(p.probe(0, 3));
+        assert!(p.probe(0, 4));
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_collide() {
+        let p = ShardedPool::new(8, 4);
+        assert!(!p.access(0, 0));
+        assert!(!p.access(1, 0));
+        assert!(p.access(0, 0));
+        assert!(p.access(1, 0));
+    }
+
+    #[test]
+    fn clear_evicts_all_and_keeps_stats() {
+        let p = ShardedPool::new(8, 4);
+        p.access(0, 0);
+        p.access(0, 1);
+        p.access(0, 0);
+        assert_eq!(p.len(), 2);
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.stats(), (1, 2), "clear keeps stats");
+        assert!(!p.access(0, 0), "cold again after clear");
+        p.reset_stats();
+        assert_eq!(p.stats(), (0, 0));
+    }
+
+    #[test]
+    fn absorbed_stats_count_in_totals_but_not_per_shard() {
+        let p = ShardedPool::new(8, 2);
+        p.access(0, 0);
+        p.absorb_stats(10, 20);
+        assert_eq!(p.stats(), (10, 21));
+        let per: (u64, u64) = p
+            .shard_stats()
+            .iter()
+            .fold((0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1));
+        assert_eq!(per, (0, 1), "absorbed stats have no shard");
+    }
+
+    #[test]
+    fn shard_stats_reflect_key_spreading() {
+        // 256 distinct blocks over 8 shards: the hash must not dump
+        // everything on one shard.
+        let p = ShardedPool::new(512, 8);
+        for blk in 0..256 {
+            p.access(3, blk);
+        }
+        let stats = p.shard_stats();
+        assert_eq!(stats.len(), 8);
+        let loaded = stats.iter().filter(|s| s.1 > 0).count();
+        assert!(loaded >= 6, "only {loaded}/8 shards saw traffic");
+        assert_eq!(stats.iter().map(|s| s.1).sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn concurrent_hammering_conserves_accesses() {
+        // 4 threads × 1000 accesses on a shared pool: hits + misses must
+        // equal exactly the number of accesses (no lost updates).
+        let p = std::sync::Arc::new(ShardedPool::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        p.access(t, i % 100);
+                    }
+                });
+            }
+        });
+        let (h, m) = p.stats();
+        assert_eq!(h + m, 4000);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests pinning [`emsim::ShardedPool`] against exact references
+//! (the PR-4 satellite).
+//!
+//! The headline equivalence — a 1-shard `ShardedPool` behaves like
+//! [`emsim::LruPool`] — is stated *below eviction pressure*: while every
+//! key fits in the pool, neither policy evicts and the two are
+//! indistinguishable (identical hit/miss sequences and stats). Under
+//! eviction they intentionally diverge (CLOCK second-chance vs exact LRU),
+//! so there the pin is against a naive reference CLOCK model instead.
+
+use emsim::{LruPool, ShardedPool};
+use proptest::prelude::*;
+
+/// Naive reference CLOCK: one ring of `(key, referenced)` frames, linear
+/// lookup, second-chance sweep on eviction — deliberately the dumbest
+/// possible spelling of the algorithm `ShardedPool` implements per shard.
+struct RefClock {
+    cap: usize,
+    ring: Vec<((u64, u64), bool)>,
+    hand: usize,
+}
+
+impl RefClock {
+    fn new(cap: usize) -> Self {
+        RefClock {
+            cap,
+            ring: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    fn access(&mut self, key: (u64, u64)) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if let Some(frame) = self.ring.iter_mut().find(|f| f.0 == key) {
+            frame.1 = true;
+            return true;
+        }
+        if self.ring.len() < self.cap {
+            self.ring.push((key, true));
+            return false;
+        }
+        loop {
+            if self.ring[self.hand].1 {
+                self.ring[self.hand].1 = false;
+                self.hand = (self.hand + 1) % self.cap;
+            } else {
+                self.ring[self.hand] = (key, true);
+                self.hand = (self.hand + 1) % self.cap;
+                return false;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_shard_matches_lru_without_eviction(
+        trace in prop::collection::vec((0u64..3, 0u64..8), 1..300),
+    ) {
+        // 3 × 8 = 24 possible keys, capacity 24: no eviction can occur, so
+        // CLOCK and LRU must agree access-for-access.
+        let sharded = ShardedPool::new(24, 1);
+        let mut lru = LruPool::new(24);
+        for &(a, b) in &trace {
+            prop_assert_eq!(sharded.access(a, b), lru.access(a, b));
+        }
+        prop_assert_eq!(sharded.stats(), lru.stats());
+        prop_assert_eq!(sharded.len(), lru.len());
+    }
+
+    #[test]
+    fn one_shard_matches_lru_on_probe_admit_miss_traffic(
+        ops in prop::collection::vec((0u8..3, 0u64..3, 0u64..8), 1..300),
+    ) {
+        // Same no-eviction regime, but through the split fallible-read API
+        // (probe / admit-on-success / record_miss-on-failure) instead of
+        // the combined `access`.
+        let sharded = ShardedPool::new(24, 1);
+        let mut lru = LruPool::new(24);
+        for &(op, a, b) in &ops {
+            match op {
+                0 => prop_assert_eq!(sharded.access(a, b), lru.access(a, b)),
+                1 => {
+                    let hit = sharded.probe(a, b);
+                    prop_assert_eq!(hit, lru.probe(a, b));
+                    if !hit {
+                        // The disk read succeeded: both pools admit.
+                        sharded.admit(a, b);
+                        lru.admit(a, b);
+                    }
+                }
+                _ => {
+                    // A failed read: miss counted, nothing cached.
+                    sharded.record_miss(a, b);
+                    lru.record_miss();
+                }
+            }
+        }
+        prop_assert_eq!(sharded.stats(), lru.stats());
+        prop_assert_eq!(sharded.len(), lru.len());
+    }
+
+    #[test]
+    fn one_shard_matches_reference_clock_under_eviction(
+        trace in prop::collection::vec((0u64..4, 0u64..16), 1..400),
+        cap in 0usize..12,
+    ) {
+        let sharded = ShardedPool::new(cap, 1);
+        let mut reference = RefClock::new(cap);
+        for &(a, b) in &trace {
+            prop_assert_eq!(sharded.access(a, b), reference.access((a, b)));
+        }
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_conserves_accesses(
+        trace in prop::collection::vec((0u64..4, 0u64..64), 1..400),
+        shards in 1usize..9,
+        cap in 0usize..32,
+    ) {
+        let pool = ShardedPool::new(cap, shards);
+        let twin = ShardedPool::new(cap, shards);
+        let mut hits = 0u64;
+        for &(a, b) in &trace {
+            let hit = pool.access(a, b);
+            prop_assert_eq!(twin.access(a, b), hit, "replay must be deterministic");
+            hits += u64::from(hit);
+        }
+        let (h, m) = pool.stats();
+        prop_assert_eq!(h, hits);
+        prop_assert_eq!(h + m, trace.len() as u64, "every access is a hit or a miss");
+        prop_assert!(pool.len() <= cap, "residency never exceeds capacity");
+    }
+}

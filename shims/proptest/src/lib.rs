@@ -246,6 +246,7 @@ macro_rules! __proptest_body {
             let strategies = ($($strat,)+);
             $crate::run_cases(config, stringify!($name), |rng| {
                 let ($($pat,)+) = $crate::Strategy::new_value(&strategies, rng);
+                #[allow(unused_mut)]
                 let mut case = || -> ::std::result::Result<(), $crate::TestCaseError> {
                     $body
                     Ok(())
@@ -327,7 +328,7 @@ mod tests {
         #[test]
         fn tuples_and_vecs_generate(v in prop::collection::vec((0u32..10, 0.0f64..1.0), 0..20), k in 1usize..5) {
             prop_assert!(v.len() < 20);
-            prop_assert!(k >= 1 && k < 5);
+            prop_assert!((1..5).contains(&k));
             for (a, b) in v {
                 prop_assert!(a < 10);
                 prop_assert!((0.0..1.0).contains(&b));
