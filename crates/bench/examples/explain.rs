@@ -1,0 +1,38 @@
+//! EXPLAIN one Theorem 1 query end to end (the OBSERVABILITY.md
+//! walkthrough).
+//!
+//! ```text
+//! cargo run --release -p bench --example explain
+//! ```
+//!
+//! Builds the worst-case reduction over 1D ranges, runs a single top-k
+//! query under [`CostModel::explain`], and prints the per-phase table
+//! plus the Prometheus exposition of the same report.
+
+use emsim::{CostModel, EmConfig};
+use range1d::topk_range1d_worstcase;
+use topk_core::TopKIndex;
+use workloads::line;
+
+fn main() {
+    let n = 65_536;
+    let k = 64;
+    let items = line::uniform(n, 1_000.0, 0x0B5);
+    let query = line::ranges(1, 1_000.0, 0.3, 0x0B5 + 1)[0];
+
+    // 64-word blocks, 16 pool frames — the E21 configuration.
+    let model = CostModel::new(EmConfig::with_memory(64, 16));
+    let index = topk_range1d_worstcase(&model, items, 0x0B5);
+
+    // Attribute the build retroactively: explain() scopes a recording
+    // sink around any closure, so wrapping the query alone EXPLAINs the
+    // query alone.
+    let ((), report) = model.explain(|| {
+        let mut out = Vec::new();
+        index.query_topk(&query, k, &mut out);
+    });
+
+    print!("{}", report.render(&format!("theorem1 top-{k} (n = {n})")));
+    println!();
+    print!("{}", report.prometheus());
+}

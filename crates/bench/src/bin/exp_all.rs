@@ -1,4 +1,4 @@
-//! Run every experiment E1–E20 (see DESIGN.md §4), fanned out across
+//! Run every experiment E1–E21 (see DESIGN.md §4), fanned out across
 //! threads, then print the buffered tables in E-order and write a
 //! machine-readable `BENCH_results.json` for cross-PR perf tracking.
 //!
@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! SCALE=smoke cargo run --release -p bench --bin exp_all -- \
-//!     [--only <substring>] [--threads N] [--sequential] [--json PATH]
+//!     [--only <substring>] [--threads N] [--sequential] [--json PATH] \
+//!     [--trace PATH]
 //! ```
 //!
 //! * `--only <substring>` (or `EXP_ONLY=<substring>`) — run only the
@@ -15,15 +16,21 @@
 //!   `available_parallelism()`. `--sequential` is shorthand for 1.
 //! * `--json PATH` — where to write results (default
 //!   `BENCH_results.json`; `--json -` disables the file).
+//! * `--trace PATH` (or `TRACE_SINK=PATH`) — write a Chrome-trace JSON of
+//!   every phase span across all experiments (see OBSERVABILITY.md).
+//!   Purely observational: I/O counts are identical with or without it.
 
 use bench::parallel::{all_experiments, default_threads, run_experiments, ExpOutcome};
 use bench::table::f;
+use bench::tracectl::TraceGuard;
 use bench::{Scale, Table};
+use emsim::Histogram;
 
 fn main() {
     let mut only: Option<String> = std::env::var("EXP_ONLY").ok();
     let mut threads = default_threads();
     let mut json_path = String::from("BENCH_results.json");
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,13 +43,15 @@ fn main() {
             }
             "--sequential" => threads = 1,
             "--json" => json_path = args.next().expect("--json needs a path"),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: exp_all [--only <substring>] [--threads N] [--sequential] [--json PATH]");
+                eprintln!("usage: exp_all [--only <substring>] [--threads N] [--sequential] [--json PATH] [--trace PATH]");
                 std::process::exit(2);
             }
         }
     }
+    let trace = TraceGuard::arm(trace_path);
 
     let scale = Scale::from_env(Scale::Paper);
     let exps: Vec<_> = all_experiments()
@@ -107,6 +116,7 @@ fn main() {
             }
         }
     }
+    trace.finish();
 
     // Partial results were printed and written above; a panicked experiment
     // must still fail the run.
@@ -124,7 +134,8 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the workspace has no serde): experiment name →
-/// wall-clock and simulated I/Os, plus run metadata.
+/// wall-clock and simulated I/Os, plus run metadata and cross-experiment
+/// latency / I/O histograms (nearest-rank percentiles).
 fn render_json(scale: Scale, threads: usize, total_elapsed_ms: f64, outcomes: &[ExpOutcome]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -143,8 +154,30 @@ fn render_json(scale: Scale, threads: usize, total_elapsed_ms: f64, outcomes: &[
             if i + 1 == outcomes.len() { "" } else { "," }
         ));
     }
+    s.push_str("  },\n");
+    let mut elapsed = Histogram::new();
+    let mut ios = Histogram::new();
+    for o in outcomes {
+        elapsed.push(o.elapsed_ms);
+        ios.push(o.ios.total() as f64);
+    }
+    s.push_str("  \"histograms\": {\n");
+    s.push_str(&render_histogram("elapsed_ms", &elapsed, ","));
+    s.push_str(&render_histogram("total_ios", &ios, ""));
     s.push_str("  }\n}\n");
     s
+}
+
+/// One `"name": { p50, p95, p99, max, samples }` histogram entry.
+fn render_histogram(name: &str, h: &Histogram, trailer: &str) -> String {
+    format!(
+        "    \"{name}\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}, \"samples\": {} }}{trailer}\n",
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max(),
+        h.len()
+    )
 }
 
 /// Quote a panic message as a JSON string literal.

@@ -28,18 +28,21 @@ fn parse_list(flag: &str, raw: Option<String>) -> Vec<usize> {
 fn main() {
     let mut batches: Vec<usize> = Vec::new();
     let mut ks: Vec<usize> = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batches" => batches = parse_list("--batches", args.next()),
             "--ks" => ks = parse_list("--ks", args.next()),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: exp_batch [--batches 1,4,16,64] [--ks 1,8,64]");
+                eprintln!("usage: exp_batch [--batches 1,4,16,64] [--ks 1,8,64] [--trace PATH]");
                 std::process::exit(2);
             }
         }
     }
+    let trace = bench::tracectl::TraceGuard::arm(trace_path);
     if batches.is_empty() {
         batches = vec![1, 4, 16, 64];
     }
@@ -49,4 +52,5 @@ fn main() {
 
     let scale = bench::Scale::from_env(bench::Scale::Paper);
     bench::experiments::batch::run_batch(scale, &batches, &ks).print();
+    trace.finish();
 }

@@ -96,6 +96,7 @@ fn main() {
     let mut threads: Vec<usize> = Vec::new();
     let mut shards = 64usize;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,13 +116,15 @@ fn main() {
                     .expect("--shards needs a positive integer");
             }
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: exp_contention [--threads 1,2,4,8] [--shards 64] [--json PATH]");
+                eprintln!("usage: exp_contention [--threads 1,2,4,8] [--shards 64] [--json PATH] [--trace PATH]");
                 std::process::exit(2);
             }
         }
     }
+    let trace = bench::tracectl::TraceGuard::arm(trace_path);
     if threads.is_empty() {
         threads = vec![1, 2, 4, 8];
     }
@@ -187,4 +190,5 @@ fn main() {
         std::fs::write(&path, out).expect("write --json output");
         println!("wrote {path}");
     }
+    trace.finish();
 }

@@ -13,6 +13,7 @@
 fn main() {
     let mut rates: Vec<f64> = Vec::new();
     let mut budgets: Vec<u32> = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,13 +28,15 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--retry-budget needs a non-negative integer"),
             ),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: exp_faults [--fault-rate R]... [--retry-budget N]...");
+                eprintln!("usage: exp_faults [--fault-rate R]... [--retry-budget N]... [--trace PATH]");
                 std::process::exit(2);
             }
         }
     }
+    let trace = bench::tracectl::TraceGuard::arm(trace_path);
     if rates.is_empty() {
         if let Some(r) = std::env::var("FAULT_RATE").ok().and_then(|s| s.parse().ok()) {
             rates.push(r);
@@ -53,4 +56,5 @@ fn main() {
 
     let scale = bench::Scale::from_env(bench::Scale::Paper);
     bench::experiments::faults::run_faults(scale, &rates, &budgets).print();
+    trace.finish();
 }

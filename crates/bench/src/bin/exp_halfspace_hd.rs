@@ -1,5 +1,7 @@
 //! Experiment binary: see DESIGN.md §4 (E11).
 fn main() {
+    let trace = bench::tracectl::TraceGuard::arm_from_cli();
     let scale = bench::Scale::from_env(bench::Scale::Paper);
     bench::experiments::problems::exp_halfspace_hd(scale).print();
+    trace.finish();
 }

@@ -1,5 +1,7 @@
-//! Experiment binary: see DESIGN.md §4 (E17).
+//! Experiment binary: see DESIGN.md §4 (E19).
 fn main() {
+    let trace = bench::tracectl::TraceGuard::arm_from_cli();
     let scale = bench::Scale::from_env(bench::Scale::Paper);
     bench::experiments::ablation::exp_range2d(scale).print();
+    trace.finish();
 }

@@ -1,7 +1,7 @@
-//! Experiment binary: see DESIGN.md §4 (E15).
+//! Experiment binary: E21, per-phase I/O attribution (OBSERVABILITY.md).
 fn main() {
     let trace = bench::tracectl::TraceGuard::arm_from_cli();
     let scale = bench::Scale::from_env(bench::Scale::Paper);
-    bench::experiments::space::exp_space(scale).print();
+    bench::experiments::trace::exp_trace(scale).print();
     trace.finish();
 }

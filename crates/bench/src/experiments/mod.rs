@@ -1,4 +1,4 @@
-//! The experiments E1–E20 (see DESIGN.md §4 for the index).
+//! The experiments E1–E21 (see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod baseline;
@@ -8,9 +8,10 @@ pub mod problems;
 pub mod reductions;
 pub mod sampling;
 pub mod space;
+pub mod trace;
 pub mod updates;
 
-use emsim::CostModel;
+use emsim::{CostModel, CostReport};
 
 /// Average read-I/Os per call of `run` over `queries` inputs.
 pub fn avg_ios<Q>(model: &CostModel, queries: &[Q], mut run: impl FnMut(&Q)) -> f64 {
@@ -22,6 +23,26 @@ pub fn avg_ios<Q>(model: &CostModel, queries: &[Q], mut run: impl FnMut(&Q)) -> 
         run(q);
     }
     model.report().reads as f64 / queries.len() as f64
+}
+
+/// Like [`avg_ios`], but also attribute the reads by phase: returns the
+/// average total plus a [`CostReport`] whose per-phase counts cover the
+/// whole query loop (divide by `queries.len()` for per-query figures).
+pub fn avg_ios_explained<Q>(
+    model: &CostModel,
+    queries: &[Q],
+    mut run: impl FnMut(&Q),
+) -> (f64, CostReport) {
+    if queries.is_empty() {
+        return (0.0, CostReport::default());
+    }
+    model.reset();
+    let ((), report) = model.explain(|| {
+        for q in queries {
+            run(q);
+        }
+    });
+    (model.report().reads as f64 / queries.len() as f64, report)
 }
 
 /// Geometric sequence of problem sizes `start, start·2, …, ≤ end`.

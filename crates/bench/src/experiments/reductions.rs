@@ -1,6 +1,7 @@
 //! E4–E5: the reductions themselves (Theorems 1 and 2), measured on
 //! interval stabbing.
 
+use emsim::trace::phase;
 use emsim::{CostModel, EmConfig};
 use interval::{SegStabBuilder, StabMaxBuilder, TopKStabbing};
 use topk_core::{
@@ -9,7 +10,7 @@ use topk_core::{
 };
 use workloads::intervals;
 
-use crate::experiments::{avg_ios, sizes};
+use crate::experiments::{avg_ios, avg_ios_explained, sizes};
 use crate::table::{f, Table};
 use crate::Scale;
 
@@ -28,6 +29,7 @@ pub fn exp_theorem1(scale: Scale) -> Table {
         "E4 / Theorem 1 — worst-case reduction on interval stabbing (segment-tree inner, f-const 2)",
         &[
             "B", "n", "k", "Q_top (IO)", "Q_pri (IO)", "ratio", "log_B n", "S_top/S_pri",
+            "probe IO", "sample IO", "sel+fb IO",
         ],
     );
     for &b in &[16usize, 64] {
@@ -60,10 +62,13 @@ pub fn exp_theorem1(scale: Scale) -> Table {
             let topk = WorstCaseTopK::build(&model_t, &SegStabBuilder, items, params);
             let s_top = topk.space_blocks();
             for &k in &[1usize, 16, 256, n / 16] {
-                let q_top = avg_ios(&model_t, &queries, |&q| {
+                // Per-phase attribution (EXPLAIN; see OBSERVABILITY.md):
+                // where the Q_top reads go, averaged per query.
+                let (q_top, rep) = avg_ios_explained(&model_t, &queries, |&q| {
                     let mut out = Vec::new();
                     topk.query_topk(&q, k, &mut out);
                 });
+                let per_q = |ph: &str| rep.phase(ph).reads as f64 / queries.len() as f64;
                 t.row_strings(vec![
                     b.to_string(),
                     n.to_string(),
@@ -73,6 +78,9 @@ pub fn exp_theorem1(scale: Scale) -> Table {
                     f(q_top / q_pri.max(1.0)),
                     f(log_b(n, b)),
                     f(s_top as f64 / s_pri.max(1) as f64),
+                    f(per_q(phase::PROBE)),
+                    f(per_q(phase::SAMPLE)),
+                    f(per_q(phase::SELECT) + per_q(phase::FALLBACK)),
                 ]);
             }
         }
@@ -95,6 +103,9 @@ pub fn exp_theorem2(scale: Scale) -> Table {
             "within",
             "S_top/S_pri",
             "sample copies",
+            "probe IO",
+            "sample IO",
+            "sel+scan IO",
         ],
     );
     // Sweep through the K₁ = B·Q_max saturation point (~n = 7·10⁴ at
@@ -128,10 +139,11 @@ pub fn exp_theorem2(scale: Scale) -> Table {
                 let mut out = Vec::new();
                 pri.query(&q, tau, &mut out);
             });
-            let q_top = avg_ios(&model_t, &queries, |&q| {
+            let (q_top, rep) = avg_ios_explained(&model_t, &queries, |&q| {
                 let mut out = Vec::new();
                 topk.query_topk(&q, k, &mut out);
             });
+            let per_q = |ph: &str| rep.phase(ph).reads as f64 / queries.len() as f64;
             let budget = q_pri + q_max + (k as f64 / b as f64);
             t.row_strings(vec![
                 n.to_string(),
@@ -141,6 +153,9 @@ pub fn exp_theorem2(scale: Scale) -> Table {
                 f(q_top / budget.max(1.0)),
                 f(s_top as f64 / s_pri.max(1) as f64),
                 copies.to_string(),
+                f(per_q(phase::PROBE)),
+                f(per_q(phase::SAMPLE)),
+                f(per_q(phase::SELECT) + per_q(phase::SCAN)),
             ]);
         }
     }

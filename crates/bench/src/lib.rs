@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod parallel;
 pub mod table;
+pub mod tracectl;
 
 pub use table::Table;
 

@@ -40,7 +40,7 @@ pub struct Experiment {
     pub run: fn(Scale) -> Table,
 }
 
-/// The full registry, in the E1–E20 order of DESIGN.md §4.
+/// The full registry, in the E1–E21 order of DESIGN.md §4.
 pub fn all_experiments() -> &'static [Experiment] {
     &[
         Experiment { name: "lemma1", run: experiments::sampling::exp_lemma1 },
@@ -63,6 +63,7 @@ pub fn all_experiments() -> &'static [Experiment] {
         Experiment { name: "space", run: experiments::space::exp_space },
         Experiment { name: "faults", run: experiments::faults::exp_faults },
         Experiment { name: "batch", run: experiments::batch::exp_batch },
+        Experiment { name: "trace", run: experiments::trace::exp_trace },
     ]
 }
 
@@ -303,10 +304,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_uniquely_named() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 20);
+        assert_eq!(exps.len(), 21);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "duplicate experiment names");
+        assert_eq!(names.len(), 21, "duplicate experiment names");
     }
 }

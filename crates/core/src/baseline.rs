@@ -11,6 +11,7 @@
 //!   (Requires predicate evaluation, so it is generic over a matcher
 //!   closure — unlike the reductions, which are black-box.)
 
+use emsim::trace::phase;
 use emsim::{select, BlockArray, CostModel, EmError, Retrier};
 
 use crate::batch::{BatchKey, BatchTopK};
@@ -39,6 +40,7 @@ where
 {
     /// Build on `items` (distinct weights required).
     pub fn build(model: &CostModel, builder: &PB, items: Vec<E>) -> Self {
+        let _build = model.span(phase::BUILD);
         let mut ws: Vec<Weight> = items.iter().map(Element::weight).collect();
         emsim::sort::external_sort_by(model, &mut ws, |&w| w);
         for w in ws.windows(2) {
@@ -82,10 +84,16 @@ where
         let n = self.weights.len();
         let mut lo = 0usize;
         let mut hi = n;
+        let search = self.model.span(phase::PROBE);
         let w_lo = *self.weights.try_get(0, retrier)?;
         if self.try_count_at_least(q, w_lo, k, retrier)? < k {
+            drop(search);
             let mut all = Vec::new();
-            self.pri.try_query(q, 0, retrier, &mut all)?;
+            {
+                let _g = self.model.span(phase::FALLBACK);
+                self.pri.try_query(q, 0, retrier, &mut all)?;
+            }
+            let _g = self.model.span(phase::SELECT);
             return Ok(select::top_k_by_weight(&self.model, &all, k, Element::weight));
         }
         while hi - lo > 1 {
@@ -100,6 +108,8 @@ where
         let tau = *self.weights.try_get(lo, retrier)?;
         let mut s = Vec::new();
         self.pri.try_query(q, tau, retrier, &mut s)?;
+        drop(search);
+        let _g = self.model.span(phase::SELECT);
         Ok(select::top_k_by_weight(&self.model, &s, k, Element::weight))
     }
 }
@@ -119,12 +129,18 @@ where
         // count(weights[lo..]) — treating count(weights[0..]) as the k-cap.
         let mut lo = 0usize; // count(w ≥ weights[lo]) ≥ k, "low weight" side
         let mut hi = n; // exclusive; count above weights[hi] < k
+        let search = self.model.span(phase::PROBE);
         // Quick check: fewer than k matches in total?
         let w_lo = *self.weights.get(0);
         let (cnt, _) = self.count_at_least(q, w_lo, k);
         if cnt < k {
+            drop(search);
             // Entire q(D) has < k elements; report all of it.
-            self.pri.query(q, 0, out);
+            {
+                let _g = self.model.span(phase::FALLBACK);
+                self.pri.query(q, 0, out);
+            }
+            let _g = self.model.span(phase::SELECT);
             let sel = select::top_k_by_weight(&self.model, out, k, Element::weight);
             out.clear();
             out.extend(sel);
@@ -145,6 +161,8 @@ where
         let tau = *self.weights.get(lo);
         let mut s = Vec::new();
         self.pri.query(q, tau, &mut s);
+        drop(search);
+        let _g = self.model.span(phase::SELECT);
         out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
     }
 
@@ -164,6 +182,7 @@ where
                 // One exact full prioritized query answers regardless of τ*;
                 // if that fails too, degrade to its partial prefix.
                 mark.note(&self.model);
+                let _g = self.model.span(phase::DEGRADE);
                 let mut s = Vec::new();
                 match self.pri.try_query(q, 0, retrier, &mut s) {
                     Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
@@ -237,11 +256,15 @@ where
             return;
         }
         let mut candidates = Vec::new();
-        self.data.scan(|e| {
-            if (self.matches)(q, e) {
-                candidates.push(e.clone());
-            }
-        });
+        {
+            let _g = self.model.span(phase::SCAN);
+            self.data.scan(|e| {
+                if (self.matches)(q, e) {
+                    candidates.push(e.clone());
+                }
+            });
+        }
+        let _g = self.model.span(phase::SELECT);
         out.extend(select::top_k_by_weight(
             &self.model,
             &candidates,
@@ -259,22 +282,29 @@ where
             return Ok(TopKAnswer::Exact(Vec::new()));
         }
         let mut candidates = Vec::new();
+        let scan = self.model.span(phase::SCAN);
         match self.data.try_scan_while(0, self.data.len(), retrier, |e| {
             if (self.matches)(q, e) {
                 candidates.push(e.clone());
             }
             true
         }) {
-            Ok(_) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
-                &self.model,
-                &candidates,
-                k,
-                Element::weight,
-            ))),
+            Ok(_) => {
+                drop(scan);
+                let _g = self.model.span(phase::SELECT);
+                Ok(TopKAnswer::Exact(select::top_k_by_weight(
+                    &self.model,
+                    &candidates,
+                    k,
+                    Element::weight,
+                )))
+            }
             Err((_, e)) => {
                 // The scan died at an unreadable block; everything gathered
                 // before it is genuine. Nothing to retry — the scan has no
                 // redundant structure to fall back on.
+                drop(scan);
+                let _g = self.model.span(phase::DEGRADE);
                 if candidates.is_empty() {
                     return Err(e);
                 }
@@ -303,8 +333,10 @@ where
     F: Fn(&Q, &E) -> bool,
 {
     fn query_topk_batch(&self, queries: &[Q], k: usize) -> Vec<Vec<E>> {
+        let _batch = self.model.span(phase::BATCH);
         let mut candidates: Vec<Vec<E>> = queries.iter().map(|_| Vec::new()).collect();
         if k > 0 && !queries.is_empty() {
+            let _g = self.model.span(phase::SCAN);
             self.data.scan(|e| {
                 for (q, c) in queries.iter().zip(candidates.iter_mut()) {
                     if (self.matches)(q, e) {
@@ -319,6 +351,7 @@ where
                 if k == 0 {
                     Vec::new()
                 } else {
+                    let _g = self.model.span(phase::SELECT);
                     select::top_k_by_weight(&self.model, &c, k, Element::weight)
                 }
             })
@@ -337,7 +370,9 @@ where
                 .map(|_| Ok(TopKAnswer::Exact(Vec::new())))
                 .collect();
         }
+        let _batch = self.model.span(phase::BATCH);
         let mut candidates: Vec<Vec<E>> = queries.iter().map(|_| Vec::new()).collect();
+        let scan_span = self.model.span(phase::SCAN);
         let scan = self.data.try_scan_while(0, self.data.len(), retrier, |e| {
             for (q, c) in queries.iter().zip(candidates.iter_mut()) {
                 if (self.matches)(q, e) {
@@ -346,10 +381,12 @@ where
             }
             true
         });
+        drop(scan_span);
         match scan {
             Ok(_) => candidates
                 .iter()
                 .map(|c| {
+                    let _g = self.model.span(phase::SELECT);
                     Ok(TopKAnswer::Exact(select::top_k_by_weight(
                         &self.model,
                         c,
@@ -363,6 +400,7 @@ where
                 // gathered before it is a genuine prefix for every query,
                 // so each degrades to its own partial candidates (or `Err`
                 // if it had none yet) — the same ladder as the solo path.
+                let _g = self.model.span(phase::DEGRADE);
                 let mark = self.model.report().total();
                 candidates
                     .iter()

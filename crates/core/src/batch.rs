@@ -26,6 +26,7 @@
 //! through the caller's [`Retrier`], and one query's fault never poisons
 //! its batch neighbours.
 
+use emsim::trace::{phase, phase_scope};
 use emsim::{EmError, Retrier};
 
 use crate::traits::{Element, TopKAnswer, TopKIndex};
@@ -63,6 +64,10 @@ pub trait BatchTopK<E: Element, Q: BatchKey>: TopKIndex<E, Q> {
     /// execution order, and is bit-identical to what
     /// [`TopKIndex::query_topk`] would report for that query alone.
     fn query_topk_batch(&self, queries: &[Q], k: usize) -> Vec<Vec<E>> {
+        // Ambient phase, not a meter span: the trait has no CostModel, and
+        // the inner query paths open their own spans anyway. Only the batch
+        // machinery itself (and any unlabelled inner charge) lands here.
+        let _batch = phase_scope(phase::BATCH);
         let mut results: Vec<Vec<E>> = queries.iter().map(|_| Vec::new()).collect();
         for i in locality_order(queries) {
             self.query_topk(&queries[i], k, &mut results[i]);
@@ -80,6 +85,7 @@ pub trait BatchTopK<E: Element, Q: BatchKey>: TopKIndex<E, Q> {
         k: usize,
         retrier: &Retrier,
     ) -> Vec<Result<TopKAnswer<E>, EmError>> {
+        let _batch = phase_scope(phase::BATCH);
         let mut results: Vec<Option<Result<TopKAnswer<E>, EmError>>> =
             queries.iter().map(|_| None).collect();
         for i in locality_order(queries) {

@@ -35,6 +35,7 @@
 //! verification fails, so the structure is always exact; the sampling
 //! affects only the (expected, rare) cost of the fallback.
 
+use emsim::trace::phase;
 use emsim::{select, BlockArray, CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,11 +130,19 @@ impl<I> Hierarchy<I> {
         E: Element,
         I: PrioritizedIndex<E, Q>,
     {
+        // Trace taxonomy: level-0 queries probe the ground structure
+        // ("probe"); deeper levels query core-set samples ("sample").
+        let ph = if i == 0 { phase::PROBE } else { phase::SAMPLE };
         let idx = &self.levels[i];
         let mut out = Vec::new();
-        match idx.query_monitored(q, 0, 4 * self.f, &mut out) {
+        let m = {
+            let _g = model.span(ph);
+            idx.query_monitored(q, 0, 4 * self.f, &mut out)
+        };
+        match m {
             Monitored::Complete => {
                 // |q(Rᵢ)| ≤ 4f: k-selection finishes.
+                let _g = model.span(phase::SELECT);
                 select::top_k_by_weight(model, &out, self.f, Element::weight)
             }
             Monitored::Truncated => {
@@ -144,16 +153,21 @@ impl<I> Hierarchy<I> {
                     if rec.len() >= r {
                         let tau = rec[r - 1].weight();
                         let mut s = Vec::new();
-                        let m = idx.query_monitored(q, tau, 4 * self.f, &mut s);
+                        let m = {
+                            let _g = model.span(ph);
+                            idx.query_monitored(q, tau, 4 * self.f, &mut s)
+                        };
                         if m == Monitored::Complete && s.len() >= self.f {
                             // s is exactly {e ∈ q(Rᵢ) : w(e) ≥ τ} and has ≥ f
                             // elements, so it contains the top-f.
+                            let _g = model.span(phase::SELECT);
                             return select::top_k_by_weight(model, &s, self.f, Element::weight);
                         }
                         // Pivot rank fell outside [f, 4f] — Lemma 2 failure.
                     }
                 }
                 // Verified fallback: exact full prioritized query.
+                let _g = model.span(phase::FALLBACK);
                 let mut all = Vec::new();
                 idx.query(q, 0, &mut all);
                 select::top_k_by_weight(model, &all, self.f, Element::weight)
@@ -183,9 +197,14 @@ impl<I> Hierarchy<I> {
         E: Element,
         I: PrioritizedIndex<E, Q>,
     {
+        let ph = if i == 0 { phase::PROBE } else { phase::SAMPLE };
         let idx = &self.levels[i];
         let mut out = Vec::new();
-        match idx.try_query_monitored(q, 0, 4 * self.f, retrier, &mut out) {
+        let first = {
+            let _g = model.span(ph);
+            idx.try_query_monitored(q, 0, 4 * self.f, retrier, &mut out)
+        };
+        match first {
             Ok(Monitored::Complete) => Ok((
                 select::top_k_by_weight(model, &out, self.f, Element::weight),
                 true,
@@ -200,7 +219,11 @@ impl<I> Hierarchy<I> {
                         if rec.len() >= r {
                             let tau = rec[r - 1].weight();
                             let mut s = Vec::new();
-                            match idx.try_query_monitored(q, tau, 4 * self.f, retrier, &mut s) {
+                            let tau_query = {
+                                let _g = model.span(ph);
+                                idx.try_query_monitored(q, tau, 4 * self.f, retrier, &mut s)
+                            };
+                            match tau_query {
                                 Ok(Monitored::Complete) if s.len() >= self.f => {
                                     return Ok((
                                         select::top_k_by_weight(model, &s, self.f, Element::weight),
@@ -214,6 +237,7 @@ impl<I> Hierarchy<I> {
                                     // full fallback reads a superset of the
                                     // same blocks, so degrade to the larger
                                     // of the two prefixes we hold.
+                                    let _g = model.span(phase::DEGRADE);
                                     mark.note(model);
                                     let best = if s.len() > out.len() { s } else { out };
                                     return Ok((
@@ -232,12 +256,17 @@ impl<I> Hierarchy<I> {
                 }
                 // Verified (exact) fallback: full prioritized query on Rᵢ.
                 let mut all = Vec::new();
-                match idx.try_query(q, 0, retrier, &mut all) {
+                let full = {
+                    let _g = model.span(phase::FALLBACK);
+                    idx.try_query(q, 0, retrier, &mut all)
+                };
+                match full {
                     Ok(()) => Ok((
                         select::top_k_by_weight(model, &all, self.f, Element::weight),
                         true,
                     )),
                     Err(e) => {
+                        let _g = model.span(phase::DEGRADE);
                         mark.note(model);
                         let best = if all.len() > out.len() { all } else { out };
                         if best.is_empty() {
@@ -254,6 +283,7 @@ impl<I> Hierarchy<I> {
             Err(e) => {
                 // Level i is unreadable from τ = 0: fall back to the coarser
                 // core-set, then to the partial prefix.
+                let _g = model.span(phase::DEGRADE);
                 mark.note(model);
                 if i + 1 < self.levels.len() {
                     if let Ok((rec, _)) = self.try_query_topf(model, q, i + 1, retrier, mark) {
@@ -332,6 +362,7 @@ where
 {
     /// Build the structure on `items` (distinct weights required).
     pub fn build(model: &CostModel, builder: &PB, items: Vec<E>, params: Theorem1Params) -> Self {
+        let _build = model.span(phase::BUILD);
         let n = items.len();
         let b = model.b();
         let q_pri = builder.query_cost(n.max(2), b);
@@ -401,6 +432,7 @@ where
         // "scan" is a full prioritized query with τ = -∞ — same asymptotic
         // cost (Q_pri(n) + O(n/B) = O(k/B) given Q_pri(n) = O(n/B)).
         if 2 * k >= n {
+            let _g = self.model.span(phase::SCAN);
             let mut s = Vec::new();
             self.d_structure().query(q, 0, &mut s);
             out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
@@ -421,11 +453,12 @@ where
 
         // |q(D)| ≤ 4K ⇒ cost-monitored query finishes it.
         let mut s1 = Vec::new();
-        if self
-            .d_structure()
-            .query_monitored(q, 0, 4 * cap, &mut s1)
-            == Monitored::Complete
-        {
+        let m = {
+            let _g = self.model.span(phase::PROBE);
+            self.d_structure().query_monitored(q, 0, 4 * cap, &mut s1)
+        };
+        if m == Monitored::Complete {
+            let _g = self.model.span(phase::SELECT);
             out.extend(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
             return;
         }
@@ -435,15 +468,18 @@ where
         if rec.len() >= rung.pivot_rank {
             let tau = rec[rung.pivot_rank - 1].weight();
             let mut s = Vec::new();
-            let m = self
-                .d_structure()
-                .query_monitored(q, tau, 4 * cap, &mut s);
+            let m = {
+                let _g = self.model.span(phase::PROBE);
+                self.d_structure().query_monitored(q, tau, 4 * cap, &mut s)
+            };
             if m == Monitored::Complete && s.len() >= k {
+                let _g = self.model.span(phase::SELECT);
                 out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
                 return;
             }
         }
         // Verified fallback (Lemma 2 failed for this q): exact full query.
+        let _g = self.model.span(phase::FALLBACK);
         let mut all = Vec::new();
         self.d_structure().query(q, 0, &mut all);
         out.extend(select::top_k_by_weight(&self.model, &all, k, Element::weight));
@@ -459,12 +495,17 @@ where
         mark: &mut FaultMark,
     ) -> Result<(Vec<E>, bool), EmError> {
         let mut s = Vec::new();
-        match self.d_structure().try_query(q, 0, retrier, &mut s) {
+        let full = {
+            let _g = self.model.span(phase::FALLBACK);
+            self.d_structure().try_query(q, 0, retrier, &mut s)
+        };
+        match full {
             Ok(()) => Ok((
                 select::top_k_by_weight(&self.model, &s, k, Element::weight),
                 true,
             )),
             Err(e) => {
+                let _g = self.model.span(phase::DEGRADE);
                 mark.note(&self.model);
                 if s.is_empty() {
                     Err(e)
@@ -500,7 +541,11 @@ where
         let d = self.d_structure();
 
         let mut s1 = Vec::new();
-        match d.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1) {
+        let first = {
+            let _g = self.model.span(phase::PROBE);
+            d.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1)
+        };
+        match first {
             Ok(Monitored::Complete) => Ok((
                 select::top_k_by_weight(&self.model, &s1, k, Element::weight),
                 true,
@@ -515,7 +560,11 @@ where
                     if rec.len() >= rung.pivot_rank {
                         let tau = rec[rung.pivot_rank - 1].weight();
                         let mut s = Vec::new();
-                        match d.try_query_monitored(q, tau, 4 * cap, retrier, &mut s) {
+                        let tau_query = {
+                            let _g = self.model.span(phase::PROBE);
+                            d.try_query_monitored(q, tau, 4 * cap, retrier, &mut s)
+                        };
+                        match tau_query {
                             Ok(Monitored::Complete) if s.len() >= k => {
                                 return Ok((
                                     select::top_k_by_weight(&self.model, &s, k, Element::weight),
@@ -524,6 +573,7 @@ where
                             }
                             Ok(_) => {}
                             Err(_) => {
+                                let _g = self.model.span(phase::DEGRADE);
                                 mark.note(&self.model);
                                 let best = if s.len() > s1.len() { s } else { s1 };
                                 return Ok((
@@ -545,6 +595,7 @@ where
             Err(e) => {
                 // D unreadable from τ = 0: degrade to the rung's hierarchy
                 // (at most f ≤ k elements, but genuine), then to the prefix.
+                let _g = self.model.span(phase::DEGRADE);
                 mark.note(&self.model);
                 if let Ok((rec, _)) =
                     rung.hierarchy

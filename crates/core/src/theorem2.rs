@@ -37,6 +37,7 @@
 
 use std::collections::HashMap;
 
+use emsim::trace::phase;
 use emsim::{select, CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -124,7 +125,10 @@ where
         params: Theorem2Params,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let parts = construct(model, &pri_builder, &max_builder, &params, &mut rng, items);
+        let parts = {
+            let _g = model.span(phase::BUILD);
+            construct(model, &pri_builder, &max_builder, &params, &mut rng, items)
+        };
         ExpectedTopK {
             model: model.clone(),
             params,
@@ -145,6 +149,7 @@ where
     /// Reconstruct every component from scratch on `items` (used when `n`
     /// drifts 2× from the built size).
     fn rebuild(&mut self, items: Vec<E>) {
+        let _g = self.model.span(phase::REBUILD);
         let parts = construct(
             &self.model,
             &self.pri_builder,
@@ -187,6 +192,7 @@ where
         // A black-box reduction cannot evaluate predicates on raw elements,
         // so "read the whole D" is a full prioritized query with τ = -∞
         // (cost Q_pri + O(n/B) = O(n/B) for any sane Q_pri).
+        let _g = self.model.span(phase::SCAN);
         let mut s = Vec::new();
         self.pri.query(q, 0, &mut s);
         out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
@@ -200,12 +206,20 @@ where
 
         // Step 1: if |q(D)| ≤ 4K_j the monitored query completes.
         let mut s1 = Vec::new();
-        if self.pri.query_monitored(q, 0, 4 * cap, &mut s1) == Monitored::Complete {
+        let m1 = {
+            let _g = self.model.span(phase::PROBE);
+            self.pri.query_monitored(q, 0, 4 * cap, &mut s1)
+        };
+        if m1 == Monitored::Complete {
+            let _g = self.model.span(phase::SELECT);
             return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
         }
 
         // Step 2: heaviest sampled element from the max structure on R_j.
-        let e = self.maxes[j].query_max(q);
+        let e = {
+            let _g = self.model.span(phase::SAMPLE);
+            self.maxes[j].query_max(q)
+        };
         let tau = match &e {
             Some(e) => e.weight(),
             // Empty q(R_j): dummy with w = -∞; the τ=0 query just ran and
@@ -215,13 +229,17 @@ where
 
         // Step 3: prioritized query with τ = w(e), cost-monitored at 4K_j.
         let mut s = Vec::new();
-        let m = self.pri.query_monitored(q, tau, 4 * cap, &mut s);
+        let m = {
+            let _g = self.model.span(phase::PROBE);
+            self.pri.query_monitored(q, tau, 4 * cap, &mut s)
+        };
 
         // Steps 4–5: succeed iff the fetch is complete and provably contains
         // the top-k. The paper requires |S| > K_j; |S| ≥ k suffices for
         // exactness (K_j ≥ k), and accepting it only lowers the failure
         // probability below the 0.91 of the analysis.
         if m == Monitored::Complete && s.len() >= k {
+            let _g = self.model.span(phase::SELECT);
             return Some(select::top_k_by_weight(&self.model, &s, k, Element::weight));
         }
         None
@@ -243,7 +261,11 @@ where
         let cap = self.ks[j].ceil() as usize;
 
         let mut s1 = Vec::new();
-        match self.pri.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1) {
+        let first = {
+            let _g = self.model.span(phase::PROBE);
+            self.pri.try_query_monitored(q, 0, 4 * cap, retrier, &mut s1)
+        };
+        match first {
             Ok(Monitored::Complete) => {
                 return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
             }
@@ -254,7 +276,11 @@ where
             }
         }
 
-        let e = match self.maxes[j].try_query_max(q, retrier) {
+        let max_query = {
+            let _g = self.model.span(phase::SAMPLE);
+            self.maxes[j].try_query_max(q, retrier)
+        };
+        let e = match max_query {
             Ok(e) => e,
             Err(_) => {
                 mark.note(&self.model);
@@ -267,7 +293,11 @@ where
         };
 
         let mut s = Vec::new();
-        match self.pri.try_query_monitored(q, tau, 4 * cap, retrier, &mut s) {
+        let tau_query = {
+            let _g = self.model.span(phase::PROBE);
+            self.pri.try_query_monitored(q, tau, 4 * cap, retrier, &mut s)
+        };
+        match tau_query {
             Ok(Monitored::Complete) if s.len() >= k => {
                 Some(select::top_k_by_weight(&self.model, &s, k, Element::weight))
             }
@@ -290,7 +320,11 @@ where
         mark: &mut FaultMark,
     ) -> Result<TopKAnswer<E>, EmError> {
         let mut s = Vec::new();
-        match self.pri.try_query(q, 0, retrier, &mut s) {
+        let full = {
+            let _g = self.model.span(phase::SCAN);
+            self.pri.try_query(q, 0, retrier, &mut s)
+        };
+        match full {
             Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
                 &self.model,
                 &s,
@@ -298,6 +332,7 @@ where
                 Element::weight,
             ))),
             Err(e) => {
+                let _g = self.model.span(phase::DEGRADE);
                 mark.note(&self.model);
                 if s.is_empty() {
                     Err(e)

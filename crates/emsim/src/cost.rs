@@ -33,6 +33,7 @@ use crate::error::EmError;
 use crate::fault::{self, FaultPlan};
 use crate::pool::LruPool;
 use crate::sharded::ShardedPool;
+use crate::trace::{self, CostReport, RecordingSink, SpanGuard, TraceEvent, TraceSink};
 
 /// Lock a mutex, recovering from poisoning: the protected state (counters,
 /// LRU recency lists, fault plans) stays internally consistent across a
@@ -248,6 +249,14 @@ struct Inner {
     faults_active: AtomicBool,
     /// The fault plan consulted by [`CostModel::try_touch`].
     fault: Mutex<FaultPlan>,
+    /// Fast path: skip the sink mutex entirely unless a structured trace
+    /// sink is armed ([`CostModel::set_trace_sink`]) — the disabled-path
+    /// cost of the whole `emsim::trace` subsystem is this one load.
+    sink_active: AtomicBool,
+    /// The structured trace sink, if armed. Sinks are observational only:
+    /// they never affect counters, pool residency or fault decisions, so
+    /// I/O totals are identical with or without one.
+    sink: Mutex<Option<Arc<dyn TraceSink>>>,
 }
 
 /// A cheaply-cloneable handle to the shared I/O meter.
@@ -341,7 +350,10 @@ impl CostModel {
     }
 
     /// The fully-general constructor: machine, fault plan, and pool policy.
+    /// The trace sink is inherited from the process ambient
+    /// ([`trace::ambient_sink`]): none unless a global sink was installed.
     pub fn with_faults_and_policy(config: EmConfig, plan: FaultPlan, policy: PoolPolicy) -> Self {
+        let sink = trace::ambient_sink();
         CostModel {
             inner: Arc::new(Inner {
                 config,
@@ -355,6 +367,8 @@ impl CostModel {
                 faults: AtomicU64::new(0),
                 faults_active: AtomicBool::new(plan.is_active()),
                 fault: Mutex::new(plan),
+                sink_active: AtomicBool::new(sink.is_some()),
+                sink: Mutex::new(sink),
             }),
         }
     }
@@ -380,6 +394,105 @@ impl CostModel {
     /// found by [`crate::BlockArray`] / [`crate::BTree`] verification).
     pub fn record_fault(&self) {
         self.inner.faults.fetch_add(1, Relaxed);
+        self.emit(TraceEvent::Fault);
+    }
+
+    /// Arm a structured trace sink: every subsequent metered event (block
+    /// read, pool hit/miss, fault, retry) is attributed to the innermost
+    /// open [`CostModel::span`] and forwarded to `sink`. Installing a
+    /// [`trace::NoopSink`] (or any sink whose
+    /// [`is_enabled`](TraceSink::is_enabled) is `false`) is equivalent to
+    /// [`CostModel::clear_trace_sink`]. Sinks observe and never influence
+    /// accounting, so I/O totals are identical with or without one.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        if sink.is_enabled() {
+            self.install_sink(Some(sink));
+        } else {
+            self.install_sink(None);
+        }
+    }
+
+    /// Disarm the structured trace sink (back to the free no-op default).
+    pub fn clear_trace_sink(&self) {
+        self.install_sink(None);
+    }
+
+    /// The armed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        if !self.inner.sink_active.load(Relaxed) {
+            return None;
+        }
+        lock_recover(&self.inner.sink).clone()
+    }
+
+    fn install_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        // Order matters under concurrency: arm the flag only after the
+        // sink is in place, and disarm it before removing the sink.
+        match sink {
+            Some(s) => {
+                *lock_recover(&self.inner.sink) = Some(s);
+                self.inner.sink_active.store(true, Relaxed);
+            }
+            None => {
+                self.inner.sink_active.store(false, Relaxed);
+                *lock_recover(&self.inner.sink) = None;
+            }
+        }
+    }
+
+    /// Forward one metered event to the sink, attributed to the innermost
+    /// phase open on this thread. The disabled path is one relaxed load.
+    #[inline]
+    fn emit(&self, event: TraceEvent) {
+        if self.inner.sink_active.load(Relaxed) {
+            let sink = lock_recover(&self.inner.sink).clone();
+            if let Some(sink) = sink {
+                sink.event(trace::current_phase(), event);
+            }
+        }
+    }
+
+    /// Open a phase-labelled span: until the returned guard drops, every
+    /// event this thread charges (to *any* meter) is attributed to `phase`
+    /// — spans nest, and the innermost wins. With no sink armed this is
+    /// free and the guard is inert. Labels should come from the
+    /// [`trace::phase`] registry.
+    ///
+    /// ```
+    /// use emsim::{CostModel, EmConfig};
+    /// use emsim::trace::phase;
+    ///
+    /// let m = CostModel::new(EmConfig::new(64));
+    /// let ((), report) = m.explain(|| {
+    ///     let _g = m.span(phase::SCAN);
+    ///     m.charge_reads(2);
+    /// });
+    /// assert_eq!(report.phase(phase::SCAN).reads, 2);
+    /// ```
+    pub fn span(&self, phase: &'static str) -> SpanGuard {
+        if !self.inner.sink_active.load(Relaxed) {
+            return SpanGuard { sink: None, phase };
+        }
+        let sink = lock_recover(&self.inner.sink).clone();
+        if let Some(s) = &sink {
+            trace::push_phase(phase);
+            s.span_begin(phase);
+        }
+        SpanGuard { sink, phase }
+    }
+
+    /// Run `f` under a fresh [`RecordingSink`] and return its result with
+    /// the EXPLAIN-style [`CostReport`] of everything it charged to this
+    /// meter. The previously armed sink (if any) is restored afterwards;
+    /// it does not see `f`'s events. Intended for one-query audits; see
+    /// OBSERVABILITY.md for a worked walkthrough.
+    pub fn explain<R>(&self, f: impl FnOnce() -> R) -> (R, CostReport) {
+        let prev = self.trace_sink();
+        let sink = Arc::new(RecordingSink::new());
+        self.set_trace_sink(sink.clone());
+        let out = f();
+        self.install_sink(prev);
+        (out, sink.report())
     }
 
     /// The machine parameters.
@@ -419,16 +532,21 @@ impl CostModel {
     /// trial charges its own child without contending on the parent's pool
     /// lock, and the parent's totals end up identical to a sequential run.
     pub fn scoped(&self) -> ScopedMeter {
+        // The child inherits this meter's fault plan (not the ambient
+        // one), so a trial fanned out under an explicitly-armed meter
+        // sees the same fault universe — and its pool policy, so
+        // sharded-mode trials measure sharded-mode residency.
+        let child = CostModel::with_faults_and_policy(
+            self.inner.config,
+            self.fault_plan(),
+            self.inner.policy,
+        );
+        // Likewise the trace sink: a fanned-out trial keeps attributing to
+        // the parent's sink. (Rollup on drop absorbs raw counters without
+        // re-emitting events, so the sink sees each charge exactly once.)
+        child.install_sink(self.trace_sink());
         ScopedMeter {
-            // The child inherits this meter's fault plan (not the ambient
-            // one), so a trial fanned out under an explicitly-armed meter
-            // sees the same fault universe — and its pool policy, so
-            // sharded-mode trials measure sharded-mode residency.
-            child: CostModel::with_faults_and_policy(
-                self.inner.config,
-                self.fault_plan(),
-                self.inner.policy,
-            ),
+            child,
             parent: self.clone(),
         }
     }
@@ -448,12 +566,18 @@ impl CostModel {
     /// This path models fault-free media — it never consults the fault plan
     /// and never fails. Use [`CostModel::try_touch`] for fallible reads.
     pub fn touch(&self, array_id: u64, block_idx: u64) {
-        if self.inner.config.mem_blocks != 0 && self.inner.pool.access(array_id, block_idx) {
+        let pooled = self.inner.config.mem_blocks != 0;
+        if pooled && self.inner.pool.access(array_id, block_idx) {
+            self.emit(TraceEvent::PoolHit);
             return; // pool hit: free
         }
         self.inner.reads.fetch_add(1, Relaxed);
         tally_reads(1);
         self.trace_read(array_id);
+        if pooled {
+            self.emit(TraceEvent::PoolMiss);
+        }
+        self.emit(TraceEvent::Reads(1));
     }
 
     /// Fallible read of one specific block: disk-read `attempt` (0-based;
@@ -478,6 +602,7 @@ impl CostModel {
         }
         let pooled = self.inner.config.mem_blocks != 0;
         if pooled && self.inner.pool.probe(array_id, block_idx) {
+            self.emit(TraceEvent::PoolHit);
             return Ok(());
         }
         let outcome = self
@@ -486,11 +611,16 @@ impl CostModel {
         // The disk attempt happened either way: charge the read.
         self.inner.reads.fetch_add(1, Relaxed);
         tally_reads(1);
+        self.emit(TraceEvent::Reads(1));
+        if attempt > 0 {
+            self.emit(TraceEvent::Retry);
+        }
         if pooled {
             match outcome {
                 Ok(()) => self.inner.pool.admit(array_id, block_idx),
                 Err(_) => self.inner.pool.record_miss(array_id, block_idx),
             }
+            self.emit(TraceEvent::PoolMiss);
         }
         match outcome {
             Ok(()) => {
@@ -499,6 +629,7 @@ impl CostModel {
             }
             Err(e) => {
                 self.inner.faults.fetch_add(1, Relaxed);
+                self.emit(TraceEvent::Fault);
                 Err(e)
             }
         }
@@ -536,12 +667,18 @@ impl CostModel {
     pub fn charge_reads(&self, n: u64) {
         self.inner.reads.fetch_add(n, Relaxed);
         tally_reads(n);
+        if n > 0 {
+            self.emit(TraceEvent::Reads(n));
+        }
     }
 
     /// Charge `n` write I/Os.
     pub fn charge_writes(&self, n: u64) {
         self.inner.writes.fetch_add(n, Relaxed);
         tally_writes(n);
+        if n > 0 {
+            self.emit(TraceEvent::Writes(n));
+        }
     }
 
     /// Charge the cost of sequentially scanning `items` items of type `T`:

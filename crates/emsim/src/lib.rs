@@ -27,12 +27,16 @@
 //!   with typed failures ([`EmError`]) and bounded-retry recovery
 //!   ([`Retrier`]); the `try_*` accessors on [`BlockArray`] / [`BTree`]
 //!   surface injected faults while the infallible API models perfect media.
+//! * [`trace`] — zero-cost-when-disabled structured tracing: phase-labelled
+//!   spans ([`CostModel::span`]), pluggable [`TraceSink`]s, EXPLAIN-style
+//!   [`CostReport`]s ([`CostModel::explain`]), and Chrome-trace /
+//!   Prometheus exporters. See OBSERVABILITY.md.
 //!
 //! The RAM model is obtained, exactly as in §1.1 of the paper, by setting
 //! `B` (and `M`) to small constants.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod btree;
@@ -43,6 +47,7 @@ pub mod pool;
 pub mod select;
 pub mod sharded;
 pub mod sort;
+pub mod trace;
 
 pub use block::BlockArray;
 pub use btree::BTree;
@@ -53,3 +58,7 @@ pub use error::EmError;
 pub use fault::{ambient_plan, clear_global_plan, install_global_plan, FaultPlan, Retrier};
 pub use pool::LruPool;
 pub use sharded::ShardedPool;
+pub use trace::{
+    ambient_sink, clear_global_sink, install_global_sink, phase_scope, ChromeTraceSink, CostReport,
+    Histogram, NoopSink, PhaseScope, PhaseStats, RecordingSink, SpanGuard, TraceEvent, TraceSink,
+};
