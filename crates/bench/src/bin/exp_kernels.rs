@@ -1,0 +1,7 @@
+//! Experiment binary: E22, scalar-vs-kernel wall-clock per phase.
+fn main() {
+    let trace = bench::tracectl::TraceGuard::arm_from_cli();
+    let scale = bench::Scale::from_env(bench::Scale::Paper);
+    bench::experiments::kernels::exp_kernels(scale).print();
+    trace.finish();
+}

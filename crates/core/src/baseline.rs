@@ -12,11 +12,12 @@
 //!   closure — unlike the reductions, which are black-box.)
 
 use emsim::trace::phase;
-use emsim::{select, BlockArray, CostModel, EmError, Retrier};
+use emsim::{BlockArray, CostModel, EmError, Retrier};
 
 use crate::batch::{BatchKey, BatchTopK};
 use crate::traits::{
-    Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer, TopKIndex,
+    select_top_k, Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer,
+    TopKIndex,
     Weight,
 };
 
@@ -94,7 +95,7 @@ where
                 self.pri.try_query(q, 0, retrier, &mut all)?;
             }
             let _g = self.model.span(phase::SELECT);
-            return Ok(select::top_k_by_weight(&self.model, &all, k, Element::weight));
+            return Ok(select_top_k(&self.model, &all, k));
         }
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
@@ -110,7 +111,7 @@ where
         self.pri.try_query(q, tau, retrier, &mut s)?;
         drop(search);
         let _g = self.model.span(phase::SELECT);
-        Ok(select::top_k_by_weight(&self.model, &s, k, Element::weight))
+        Ok(select_top_k(&self.model, &s, k))
     }
 }
 
@@ -141,7 +142,7 @@ where
                 self.pri.query(q, 0, out);
             }
             let _g = self.model.span(phase::SELECT);
-            let sel = select::top_k_by_weight(&self.model, out, k, Element::weight);
+            let sel = select_top_k(&self.model, out, k);
             out.clear();
             out.extend(sel);
             return;
@@ -163,7 +164,7 @@ where
         self.pri.query(q, tau, &mut s);
         drop(search);
         let _g = self.model.span(phase::SELECT);
-        out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+        out.extend(select_top_k(&self.model, &s, k));
     }
 
     fn space_blocks(&self) -> u64 {
@@ -185,18 +186,15 @@ where
                 let _g = self.model.span(phase::DEGRADE);
                 let mut s = Vec::new();
                 match self.pri.try_query(q, 0, retrier, &mut s) {
-                    Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
-                        &self.model,
+                    Ok(()) => Ok(TopKAnswer::Exact(select_top_k(&self.model,
                         &s,
-                        k,
-                        Element::weight,
-                    ))),
+                        k))),
                     Err(e) => {
                         if s.is_empty() {
                             Err(e)
                         } else {
                             Ok(TopKAnswer::Degraded {
-                                items: select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                                items: select_top_k(&self.model, &s, k),
                                 extra_ios: mark.extra(&self.model),
                             })
                         }
@@ -265,12 +263,9 @@ where
             });
         }
         let _g = self.model.span(phase::SELECT);
-        out.extend(select::top_k_by_weight(
-            &self.model,
+        out.extend(select_top_k(&self.model,
             &candidates,
-            k,
-            Element::weight,
-        ));
+            k));
     }
 
     fn space_blocks(&self) -> u64 {
@@ -292,12 +287,9 @@ where
             Ok(_) => {
                 drop(scan);
                 let _g = self.model.span(phase::SELECT);
-                Ok(TopKAnswer::Exact(select::top_k_by_weight(
-                    &self.model,
+                Ok(TopKAnswer::Exact(select_top_k(&self.model,
                     &candidates,
-                    k,
-                    Element::weight,
-                )))
+                    k)))
             }
             Err((_, e)) => {
                 // The scan died at an unreadable block; everything gathered
@@ -309,7 +301,7 @@ where
                     return Err(e);
                 }
                 let mark = self.model.report().total();
-                let items = select::top_k_by_weight(&self.model, &candidates, k, Element::weight);
+                let items = select_top_k(&self.model, &candidates, k);
                 Ok(TopKAnswer::Degraded {
                     items,
                     extra_ios: self.model.report().total().saturating_sub(mark),
@@ -352,7 +344,7 @@ where
                     Vec::new()
                 } else {
                     let _g = self.model.span(phase::SELECT);
-                    select::top_k_by_weight(&self.model, &c, k, Element::weight)
+                    select_top_k(&self.model, &c, k)
                 }
             })
             .collect()
@@ -387,12 +379,9 @@ where
                 .iter()
                 .map(|c| {
                     let _g = self.model.span(phase::SELECT);
-                    Ok(TopKAnswer::Exact(select::top_k_by_weight(
-                        &self.model,
+                    Ok(TopKAnswer::Exact(select_top_k(&self.model,
                         c,
-                        k,
-                        Element::weight,
-                    )))
+                        k)))
                 })
                 .collect(),
             Err((_, e)) => {
@@ -409,12 +398,9 @@ where
                             Err(e)
                         } else {
                             Ok(TopKAnswer::Degraded {
-                                items: select::top_k_by_weight(
-                                    &self.model,
+                                items: select_top_k(&self.model,
                                     c,
-                                    k,
-                                    Element::weight,
-                                ),
+                                    k),
                                 extra_ios: self.model.report().total().saturating_sub(mark),
                             })
                         }

@@ -45,9 +45,16 @@ pub trait BatchKey {
 
 /// The execution schedule for a batch: indices into `queries`, sorted by
 /// `(batch_key, input index)` — deterministic, stable on ties.
+///
+/// Keys are materialized once so the sort comparator is a pure integer
+/// compare (no repeated `batch_key()` virtual calls in the hot loop), and
+/// the `(key, index)` pair makes an *unstable* sort produce the stable
+/// order — the same trick the selection kernels use to keep every backend
+/// bit-identical.
 pub fn locality_order<Q: BatchKey>(queries: &[Q]) -> Vec<usize> {
+    let keys: Vec<u64> = queries.iter().map(BatchKey::batch_key).collect();
     let mut order: Vec<usize> = (0..queries.len()).collect();
-    order.sort_by_key(|&i| (queries[i].batch_key(), i));
+    order.sort_unstable_by_key(|&i| (keys[i], i));
     order
 }
 

@@ -22,9 +22,9 @@
 //! the structures its Theorems 3–6 improve on — so the experiments use it
 //! as a second baseline next to [`crate::BinarySearchTopK`].
 
-use emsim::{select, CostModel};
+use emsim::CostModel;
 
-use crate::traits::{Element, TopKIndex};
+use crate::traits::{select_top_k, Element, TopKIndex};
 
 /// A per-node structure answering both reporting and approximate counting
 /// queries over its subset.
@@ -192,12 +192,9 @@ where
                 });
             }
             if candidates.len() >= k || target >= self.len {
-                out.extend(select::top_k_by_weight(
-                    &self.model,
+                out.extend(select_top_k(&self.model,
                     &candidates,
-                    k,
-                    Element::weight,
-                ));
+                    k));
                 return;
             }
             target = (target * 2).min(self.len);

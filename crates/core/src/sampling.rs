@@ -49,9 +49,13 @@ impl Lemma1Params {
 }
 
 /// The rank (1-based, descending by weight) of `weight` within `weights`.
-/// `weights` need not be sorted.
+/// `weights` need not be sorted. Counting runs on the vectorized
+/// scan-for-threshold kernel (`w > weight` ⇔ `w ≥ weight + 1`).
 pub fn rank_of(weights: &[Weight], weight: Weight) -> usize {
-    weights.iter().filter(|&&w| w > weight).count() + 1
+    match weight.checked_add(1) {
+        Some(pivot) => emsim::kernels::count_ge(weights, pivot) + 1,
+        None => 1, // nothing exceeds u64::MAX
+    }
 }
 
 /// The weight of rank `r` (1-based, descending) in `weights`.

@@ -36,13 +36,14 @@
 //! affects only the (expected, rare) cost of the fallback.
 
 use emsim::trace::phase;
-use emsim::{select, BlockArray, CostModel, EmError, Retrier};
+use emsim::{BlockArray, CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::coreset::{core_set, CoreSetParams};
 use crate::traits::{
-    Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer, TopKIndex,
+    select_top_k, Element, FaultMark, Monitored, PrioritizedBuilder, PrioritizedIndex, TopKAnswer,
+    TopKIndex,
 };
 
 /// Tunables of the Theorem 1 construction.
@@ -143,7 +144,7 @@ impl<I> Hierarchy<I> {
             Monitored::Complete => {
                 // |q(Rᵢ)| ≤ 4f: k-selection finishes.
                 let _g = model.span(phase::SELECT);
-                select::top_k_by_weight(model, &out, self.f, Element::weight)
+                select_top_k(model, &out, self.f)
             }
             Monitored::Truncated => {
                 // |q(Rᵢ)| > 4f: consult the next core-set for a pivot.
@@ -161,7 +162,7 @@ impl<I> Hierarchy<I> {
                             // s is exactly {e ∈ q(Rᵢ) : w(e) ≥ τ} and has ≥ f
                             // elements, so it contains the top-f.
                             let _g = model.span(phase::SELECT);
-                            return select::top_k_by_weight(model, &s, self.f, Element::weight);
+                            return select_top_k(model, &s, self.f);
                         }
                         // Pivot rank fell outside [f, 4f] — Lemma 2 failure.
                     }
@@ -170,7 +171,7 @@ impl<I> Hierarchy<I> {
                 let _g = model.span(phase::FALLBACK);
                 let mut all = Vec::new();
                 idx.query(q, 0, &mut all);
-                select::top_k_by_weight(model, &all, self.f, Element::weight)
+                select_top_k(model, &all, self.f)
             }
         }
     }
@@ -206,7 +207,7 @@ impl<I> Hierarchy<I> {
         };
         match first {
             Ok(Monitored::Complete) => Ok((
-                select::top_k_by_weight(model, &out, self.f, Element::weight),
+                select_top_k(model, &out, self.f),
                 true,
             )),
             Ok(Monitored::Truncated) => {
@@ -226,7 +227,7 @@ impl<I> Hierarchy<I> {
                             match tau_query {
                                 Ok(Monitored::Complete) if s.len() >= self.f => {
                                     return Ok((
-                                        select::top_k_by_weight(model, &s, self.f, Element::weight),
+                                        select_top_k(model, &s, self.f),
                                         true,
                                     ));
                                 }
@@ -241,12 +242,9 @@ impl<I> Hierarchy<I> {
                                     mark.note(model);
                                     let best = if s.len() > out.len() { s } else { out };
                                     return Ok((
-                                        select::top_k_by_weight(
-                                            model,
+                                        select_top_k(model,
                                             &best,
-                                            self.f,
-                                            Element::weight,
-                                        ),
+                                            self.f),
                                         false,
                                     ));
                                 }
@@ -262,7 +260,7 @@ impl<I> Hierarchy<I> {
                 };
                 match full {
                     Ok(()) => Ok((
-                        select::top_k_by_weight(model, &all, self.f, Element::weight),
+                        select_top_k(model, &all, self.f),
                         true,
                     )),
                     Err(e) => {
@@ -273,7 +271,7 @@ impl<I> Hierarchy<I> {
                             Err(e)
                         } else {
                             Ok((
-                                select::top_k_by_weight(model, &best, self.f, Element::weight),
+                                select_top_k(model, &best, self.f),
                                 false,
                             ))
                         }
@@ -294,7 +292,7 @@ impl<I> Hierarchy<I> {
                     Err(e)
                 } else {
                     Ok((
-                        select::top_k_by_weight(model, &out, self.f, Element::weight),
+                        select_top_k(model, &out, self.f),
                         false,
                     ))
                 }
@@ -435,7 +433,7 @@ where
             let _g = self.model.span(phase::SCAN);
             let mut s = Vec::new();
             self.d_structure().query(q, 0, &mut s);
-            out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+            out.extend(select_top_k(&self.model, &s, k));
             return;
         }
         // Smallest rung with K ≥ k.
@@ -445,7 +443,7 @@ where
                 // k exceeds the ladder (can only happen for tiny n): exact.
                 let mut s = Vec::new();
                 self.d_structure().query(q, 0, &mut s);
-                out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+                out.extend(select_top_k(&self.model, &s, k));
                 return;
             }
         };
@@ -459,7 +457,7 @@ where
         };
         if m == Monitored::Complete {
             let _g = self.model.span(phase::SELECT);
-            out.extend(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+            out.extend(select_top_k(&self.model, &s1, k));
             return;
         }
 
@@ -474,7 +472,7 @@ where
             };
             if m == Monitored::Complete && s.len() >= k {
                 let _g = self.model.span(phase::SELECT);
-                out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+                out.extend(select_top_k(&self.model, &s, k));
                 return;
             }
         }
@@ -482,7 +480,7 @@ where
         let _g = self.model.span(phase::FALLBACK);
         let mut all = Vec::new();
         self.d_structure().query(q, 0, &mut all);
-        out.extend(select::top_k_by_weight(&self.model, &all, k, Element::weight));
+        out.extend(select_top_k(&self.model, &all, k));
     }
 
     /// Exact full prioritized query on `D` + k-selection, degrading to the
@@ -501,7 +499,7 @@ where
         };
         match full {
             Ok(()) => Ok((
-                select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                select_top_k(&self.model, &s, k),
                 true,
             )),
             Err(e) => {
@@ -511,7 +509,7 @@ where
                     Err(e)
                 } else {
                     Ok((
-                        select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                        select_top_k(&self.model, &s, k),
                         false,
                     ))
                 }
@@ -547,7 +545,7 @@ where
         };
         match first {
             Ok(Monitored::Complete) => Ok((
-                select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                select_top_k(&self.model, &s1, k),
                 true,
             )),
             Ok(Monitored::Truncated) => {
@@ -567,7 +565,7 @@ where
                         match tau_query {
                             Ok(Monitored::Complete) if s.len() >= k => {
                                 return Ok((
-                                    select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                                    select_top_k(&self.model, &s, k),
                                     true,
                                 ));
                             }
@@ -577,7 +575,7 @@ where
                                 mark.note(&self.model);
                                 let best = if s.len() > s1.len() { s } else { s1 };
                                 return Ok((
-                                    select::top_k_by_weight(&self.model, &best, k, Element::weight),
+                                    select_top_k(&self.model, &best, k),
                                     false,
                                 ));
                             }
@@ -586,7 +584,7 @@ where
                 }
                 match self.try_full_exact(q, k, retrier, mark) {
                     Err(_) if !s1.is_empty() => Ok((
-                        select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                        select_top_k(&self.model, &s1, k),
                         false,
                     )),
                     other => other,
@@ -609,7 +607,7 @@ where
                     Err(e)
                 } else {
                     Ok((
-                        select::top_k_by_weight(&self.model, &s1, k, Element::weight),
+                        select_top_k(&self.model, &s1, k),
                         false,
                     ))
                 }

@@ -38,12 +38,13 @@
 use std::collections::HashMap;
 
 use emsim::trace::phase;
-use emsim::{select, CostModel, EmError, Retrier};
+use emsim::{CostModel, EmError, Retrier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::traits::{
-    DynamicIndex, Element, FaultMark, MaxBuilder, MaxIndex, Monitored, PrioritizedBuilder,
+    select_top_k, DynamicIndex, Element, FaultMark, MaxBuilder, MaxIndex, Monitored,
+    PrioritizedBuilder,
     PrioritizedIndex, TopKAnswer, TopKIndex, Weight,
 };
 
@@ -195,7 +196,7 @@ where
         let _g = self.model.span(phase::SCAN);
         let mut s = Vec::new();
         self.pri.query(q, 0, &mut s);
-        out.extend(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+        out.extend(select_top_k(&self.model, &s, k));
         let _ = q;
     }
 
@@ -212,7 +213,7 @@ where
         };
         if m1 == Monitored::Complete {
             let _g = self.model.span(phase::SELECT);
-            return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+            return Some(select_top_k(&self.model, &s1, k));
         }
 
         // Step 2: heaviest sampled element from the max structure on R_j.
@@ -240,7 +241,7 @@ where
         // probability below the 0.91 of the analysis.
         if m == Monitored::Complete && s.len() >= k {
             let _g = self.model.span(phase::SELECT);
-            return Some(select::top_k_by_weight(&self.model, &s, k, Element::weight));
+            return Some(select_top_k(&self.model, &s, k));
         }
         None
     }
@@ -267,7 +268,7 @@ where
         };
         match first {
             Ok(Monitored::Complete) => {
-                return Some(select::top_k_by_weight(&self.model, &s1, k, Element::weight));
+                return Some(select_top_k(&self.model, &s1, k));
             }
             Ok(Monitored::Truncated) => {}
             Err(_) => {
@@ -299,7 +300,7 @@ where
         };
         match tau_query {
             Ok(Monitored::Complete) if s.len() >= k => {
-                Some(select::top_k_by_weight(&self.model, &s, k, Element::weight))
+                Some(select_top_k(&self.model, &s, k))
             }
             Ok(_) => None,
             Err(_) => {
@@ -325,12 +326,9 @@ where
             self.pri.try_query(q, 0, retrier, &mut s)
         };
         match full {
-            Ok(()) => Ok(TopKAnswer::Exact(select::top_k_by_weight(
-                &self.model,
+            Ok(()) => Ok(TopKAnswer::Exact(select_top_k(&self.model,
                 &s,
-                k,
-                Element::weight,
-            ))),
+                k))),
             Err(e) => {
                 let _g = self.model.span(phase::DEGRADE);
                 mark.note(&self.model);
@@ -338,7 +336,7 @@ where
                     Err(e)
                 } else {
                     Ok(TopKAnswer::Degraded {
-                        items: select::top_k_by_weight(&self.model, &s, k, Element::weight),
+                        items: select_top_k(&self.model, &s, k),
                         extra_ios: mark.extra(&self.model),
                     })
                 }

@@ -27,6 +27,20 @@ pub trait Element: Clone {
     fn weight(&self) -> Weight;
 }
 
+/// The reductions' one entry into k-selection: the `k` heaviest of `items`
+/// by [`Element::weight`], heaviest first, charging the quickselect scans
+/// to `model`.
+///
+/// Weights are `u64`, so every call dispatches to emsim's specialized
+/// selection kernels (branch-free stable partition, vectorized
+/// scan-for-threshold — see `emsim::kernels`); the backend is chosen once
+/// per process (`EMSIM_KERNELS` overrides CPU detection). Answers and
+/// metered I/Os are bit-identical on every backend, which is what lets the
+/// theorem structures above stay oblivious to the dispatch.
+pub fn select_top_k<E: Element>(model: &CostModel, items: &[E], k: usize) -> Vec<E> {
+    emsim::select::top_k_by_weight(model, items, k, Element::weight)
+}
+
 /// Outcome of a cost-monitored query (§3.2): the query either ran to
 /// completion, or was cut off after reporting `limit + 1` elements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

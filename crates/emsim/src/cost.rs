@@ -471,14 +471,17 @@ impl CostModel {
     /// ```
     pub fn span(&self, phase: &'static str) -> SpanGuard {
         if !self.inner.sink_active.load(Relaxed) {
-            return SpanGuard { sink: None, phase };
+            return SpanGuard { sink: None, phase, start: None };
         }
         let sink = lock_recover(&self.inner.sink).clone();
-        if let Some(s) = &sink {
+        let start = if let Some(s) = &sink {
             trace::push_phase(phase);
             s.span_begin(phase);
-        }
-        SpanGuard { sink, phase }
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        SpanGuard { sink, phase, start }
     }
 
     /// Run `f` under a fresh [`RecordingSink`] and return its result with

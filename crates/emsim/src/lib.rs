@@ -21,6 +21,10 @@
 //!   reporting, insert and delete, charging one I/O per node visited.
 //! * [`select`] — EM k-selection (`O(n/B)` I/Os expected), the primitive the
 //!   paper invokes as "k-selection \[8\]" throughout §3–§4.
+//! * [`kernels`] — branchless / SIMD hot-path kernels (partition,
+//!   scan-for-threshold) behind `select`, runtime-dispatched per CPU and
+//!   per key type with a generic fallback; answers and metered I/Os are
+//!   bit-identical on every backend.
 //! * [`sort`] — external merge sort with run formation in memory `M` and
 //!   `M/B`-way merging.
 //! * [`fault`] / [`error`] — deterministic fault injection ([`FaultPlan`])
@@ -34,8 +38,12 @@
 //!
 //! The RAM model is obtained, exactly as in §1.1 of the paper, by setting
 //! `B` (and `M`) to small constants.
+//!
+//! `unsafe` is denied crate-wide; the single exception is [`kernels`],
+//! whose AVX2 intrinsics require it (each use is behind a runtime CPU
+//! feature check).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod block;
@@ -43,6 +51,7 @@ pub mod btree;
 pub mod cost;
 pub mod error;
 pub mod fault;
+pub mod kernels;
 pub mod pool;
 pub mod select;
 pub mod sharded;
@@ -56,6 +65,7 @@ pub use cost::{
 };
 pub use error::EmError;
 pub use fault::{ambient_plan, clear_global_plan, install_global_plan, FaultPlan, Retrier};
+pub use kernels::{active_backend, with_backend, Backend, KernelKey, KeyType};
 pub use pool::LruPool;
 pub use sharded::ShardedPool;
 pub use trace::{

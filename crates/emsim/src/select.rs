@@ -5,8 +5,22 @@
 //! We implement expected-linear quickselect with a seeded deterministic
 //! pivot sequence; each partitioning pass over `m` candidates charges
 //! `⌈m/B'⌉` read I/Os where `B'` is the per-block item capacity.
+//!
+//! The in-memory work of each pass runs on the [`kernels`](crate::kernels)
+//! layer: a stable branch-free three-way partition and a vectorized
+//! scan-for-threshold, runtime-dispatched per CPU (`EMSIM_KERNELS`
+//! overrides). Keys are embedded into `u64` bits through [`KernelKey`], so
+//! `u32` / `u64` / `i64` / `f64` keys all hit the specialized kernels via
+//! [`dispatch_kernel!`](crate::dispatch_kernel), while every other `Ord`
+//! key type takes the generic fallback ([`top_k_by_ord`]). All paths make
+//! the same pivot draws and charge the same scans: answers and metered
+//! I/Os are bit-identical across backends and key representations.
+
+use std::any::Any;
 
 use crate::cost::CostModel;
+use crate::dispatch_kernel;
+use crate::kernels::{self, KernelKey};
 
 /// Return the `k` largest items by `key` (descending by key), charging the
 /// scan passes of quickselect to `model`. `O(n/B)` expected I/Os plus
@@ -15,29 +29,136 @@ use crate::cost::CostModel;
 /// If `items.len() <= k` the whole input is returned (sorted descending),
 /// mirroring the paper's convention that a top-k query on fewer than `k`
 /// qualifying elements reports all of them.
+///
+/// Duplicate-heavy inputs are safe: the filter pass gathers exactly the
+/// first `k` qualifying items (all strictly above the threshold plus as
+/// many threshold-equal items, in input order, as still fit), so an
+/// all-equal input costs `O(n/B + k log k)` work instead of an `O(n log n)`
+/// sort of every tied candidate.
 pub fn top_k_by_weight<T: Clone>(
     model: &CostModel,
     items: &[T],
     k: usize,
     key: impl Fn(&T) -> u64,
 ) -> Vec<T> {
+    top_k_by_key(model, items, k, key)
+}
+
+/// [`top_k_by_weight`] generalized to any kernel-embeddable key type:
+/// `u64` / `u32` / `i64` / `f64` keys dispatch to the monomorphized
+/// kernels; anything else would not compile here — use [`top_k_by_ord`].
+pub fn top_k_by_key<T: Clone, K: KernelKey + 'static>(
+    model: &CostModel,
+    items: &[T],
+    k: usize,
+    key: impl Fn(&T) -> K,
+) -> Vec<T> {
     if k == 0 {
         return Vec::new();
     }
-    let mut out: Vec<T>;
     if items.len() <= k {
         model.charge_scan::<T>(items.len());
-        out = items.to_vec();
-    } else {
-        let threshold = kth_largest(model, items, k, &key);
-        model.charge_scan::<T>(items.len());
-        out = items.iter().filter(|t| key(t) >= threshold).cloned().collect();
-        // Distinct weights (paper §1.1) make the threshold cut exact, but we
-        // defensively truncate after sorting in case of ties.
+        let mut out = items.to_vec();
+        out.sort_by_key(|e| std::cmp::Reverse(key(e).to_bits()));
+        out.truncate(k);
+        model.charge_scan::<T>(out.len());
+        return out;
     }
-    out.sort_by_key(|e| std::cmp::Reverse(key(e)));
+    // One metered extraction pass materializes the bit-embedded keys; the
+    // dispatch macro picks the monomorphized conversion for K's tag (the
+    // tag is always `Some` here because K: KernelKey, but the macro keeps
+    // the generic path as its fallback arm by construction).
+    model.charge_scan::<T>(items.len());
+    let raw: Vec<K> = items.iter().map(&key).collect();
+    let bits: Vec<u64> = dispatch_kernel!(
+        kernels::key_type_of::<K>(),
+        KK => bits_of_any::<KK>(Box::new(raw)),
+        _ => unreachable!("K: KernelKey always has a KeyType tag")
+    );
+    let threshold = kth_largest_bits(model, bits.clone(), k);
+    // The filter pass re-reads the candidate array (one metered scan).
+    model.charge_scan::<T>(items.len());
+    let picked = gather_top_k(&bits, threshold, k);
+    let mut out: Vec<(u64, &T)> = picked.into_iter().map(|i| (bits[i], &items[i])).collect();
+    // Stable sort on the embedded bits == stable sort on the original key.
+    out.sort_by_key(|&(b, _)| std::cmp::Reverse(b));
     out.truncate(k);
+    let out: Vec<T> = out.into_iter().map(|(_, t)| t.clone()).collect();
     model.charge_scan::<T>(out.len());
+    out
+}
+
+/// The generic `Ord`-bound fallback: same algorithm, same metered charges,
+/// one comparison-based code path for key types with no specialized
+/// kernel. (The kernel paths are proptest-pinned to agree with this.)
+pub fn top_k_by_ord<T: Clone, K: Ord + Copy>(
+    model: &CostModel,
+    items: &[T],
+    k: usize,
+    key: impl Fn(&T) -> K,
+) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if items.len() <= k {
+        model.charge_scan::<T>(items.len());
+        let mut out = items.to_vec();
+        out.sort_by_key(|e| std::cmp::Reverse(key(e)));
+        out.truncate(k);
+        model.charge_scan::<T>(out.len());
+        return out;
+    }
+    model.charge_scan::<T>(items.len());
+    let keys: Vec<K> = items.iter().map(&key).collect();
+    let threshold = kth_largest_ord(model, keys.clone(), k);
+    model.charge_scan::<T>(items.len());
+    let mut gt = Vec::new();
+    let mut eq = Vec::new();
+    for (i, x) in keys.iter().enumerate() {
+        match x.cmp(&threshold) {
+            std::cmp::Ordering::Greater => gt.push(i),
+            std::cmp::Ordering::Equal => eq.push(i),
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    let need = k - gt.len();
+    gt.extend(eq.into_iter().take(need));
+    let mut out: Vec<(K, &T)> = gt.into_iter().map(|i| (keys[i], &items[i])).collect();
+    out.sort_by_key(|&(b, _)| std::cmp::Reverse(b));
+    out.truncate(k);
+    let out: Vec<T> = out.into_iter().map(|(_, t)| t.clone()).collect();
+    model.charge_scan::<T>(out.len());
+    out
+}
+
+/// Monomorphized bit-embedding pass: the target of the dispatch macro.
+/// Takes the key vector type-erased (the macro arm binds the concrete
+/// type) and returns the order-embedded `u64` keys.
+fn bits_of_any<K: KernelKey>(raw: Box<dyn Any>) -> Vec<u64> {
+    let raw = *raw
+        .downcast::<Vec<K>>()
+        .expect("dispatch_kernel tag matches the key type");
+    raw.into_iter().map(KernelKey::to_bits).collect()
+}
+
+/// Indices (input order) of the top-k survivors: every key strictly above
+/// `threshold` plus the first `k - |above|` keys equal to it. Bounding the
+/// equal-key gather is the duplicate-heavy worst-case fix — an all-equal
+/// input yields `k` survivors, not `n`.
+fn gather_top_k(bits: &[u64], threshold: u64, k: usize) -> Vec<usize> {
+    let ge = kernels::filter_ge_indices(bits, threshold);
+    let gt_count = ge.iter().filter(|&&i| bits[i] > threshold).count();
+    let need = k.saturating_sub(gt_count);
+    let mut kept_eq = 0usize;
+    let mut out = ge;
+    out.retain(|&i| {
+        if bits[i] == threshold {
+            kept_eq += 1;
+            kept_eq <= need
+        } else {
+            true
+        }
+    });
     out
 }
 
@@ -53,8 +174,16 @@ pub fn kth_largest<T>(
     let mut keys: Vec<u64> = Vec::with_capacity(items.len());
     model.charge_scan::<T>(items.len());
     keys.extend(items.iter().map(key));
-    let mut k = k;
-    let mut state: u64 = 0x9E3779B97F4A7C15 ^ (items.len() as u64);
+    kth_largest_bits(model, keys, k)
+}
+
+/// Quickselect over pre-extracted `u64` keys. The pivot sequence is a
+/// deterministic LCG seeded by the *initial* length, drawing indices into
+/// the surviving partition — which is why [`kernels::partition3`] must be
+/// stable: every backend sees the same key order, draws the same pivots,
+/// and charges the same `⌈m/B'⌉` scan per pass.
+fn kth_largest_bits(model: &CostModel, mut keys: Vec<u64>, mut k: usize) -> u64 {
+    let mut state: u64 = 0x9E3779B97F4A7C15 ^ (keys.len() as u64);
     loop {
         if keys.len() <= 32 {
             model.charge_scan::<u64>(keys.len());
@@ -72,6 +201,38 @@ pub fn kth_largest<T>(
         };
         let (a, b, c) = (draw(&mut state), draw(&mut state), draw(&mut state));
         let pivot = a.max(b).min(a.min(b).max(c)); // median of a, b, c
+        model.charge_scan::<u64>(keys.len());
+        let (greater, less, equal) = kernels::partition3(&keys, pivot);
+        if k <= greater.len() {
+            keys = greater;
+        } else if k <= greater.len() + equal {
+            return pivot;
+        } else {
+            k -= greater.len() + equal;
+            keys = less;
+        }
+    }
+}
+
+/// Generic quickselect twin of [`kth_largest_bits`] for arbitrary `Ord`
+/// keys — the comparison-based fallback path. Identical pivot-draw
+/// sequence and metered charges.
+fn kth_largest_ord<K: Ord + Copy>(model: &CostModel, mut keys: Vec<K>, mut k: usize) -> K {
+    let mut state: u64 = 0x9E3779B97F4A7C15 ^ (keys.len() as u64);
+    loop {
+        if keys.len() <= 32 {
+            model.charge_scan::<u64>(keys.len());
+            keys.sort_unstable_by(|a, b| b.cmp(a));
+            return keys[k - 1];
+        }
+        let draw = |state: &mut u64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keys[(*state % keys.len() as u64) as usize]
+        };
+        let (a, b, c) = (draw(&mut state), draw(&mut state), draw(&mut state));
+        let pivot = a.max(b).min(a.min(b).max(c));
         model.charge_scan::<u64>(keys.len());
         let mut greater = Vec::new();
         let mut less = Vec::new();
@@ -98,6 +259,7 @@ pub fn kth_largest<T>(
 mod tests {
     use super::*;
     use crate::cost::EmConfig;
+    use crate::kernels::{avx2_available, with_backend, Backend};
 
     fn model() -> CostModel {
         CostModel::new(EmConfig::new(64))
@@ -107,6 +269,14 @@ mod tests {
         let mut v = items.to_vec();
         v.sort_unstable_by(|a, b| b.cmp(a));
         v.truncate(k);
+        v
+    }
+
+    fn all_backends() -> Vec<Backend> {
+        let mut v = vec![Backend::Scalar, Backend::Unrolled];
+        if avx2_available() {
+            v.push(Backend::Avx2);
+        }
         v
     }
 
@@ -173,5 +343,119 @@ mod tests {
         assert_eq!(kth_largest(&m, &items, 2, &|&x| x), 5);
         assert_eq!(kth_largest(&m, &items, 4, &|&x| x), 3);
         assert_eq!(top_k_by_weight(&m, &items, 4, |&x| x), vec![5, 5, 5, 3]);
+    }
+
+    #[test]
+    fn all_equal_keys_cost_linear_io_and_bounded_output_work() {
+        // The duplicate-heavy worst case (satellite): before the bounded
+        // gather, an all-equal input collected *all* n candidates and
+        // sorted them. Now exactly k survive the filter on every backend.
+        let n = 50_000usize;
+        let items = vec![7u64; n];
+        for b in all_backends() {
+            let m = model();
+            let out = with_backend(b, || top_k_by_weight(&m, &items, 25, |&x| x));
+            assert_eq!(out, vec![7u64; 25], "backend={b:?}");
+            let reads = m.report().reads;
+            let n_over_b = (n as u64).div_ceil(64);
+            // Extraction + one partition pass + filter + output: well under
+            // 6 · n/B even with the ≤32-element base-case sort.
+            assert!(
+                reads <= 6 * n_over_b,
+                "all-equal reads {reads} not O(n/B) = {n_over_b} (backend={b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_match_brute_force_on_all_backends() {
+        // 90% of keys drawn from 4 distinct values.
+        let items: Vec<u64> = (0..9973u64)
+            .map(|i| if i % 10 == 0 { i } else { [3, 7, 7, 9][(i % 4) as usize] })
+            .collect();
+        let want: Vec<Vec<u64>> = [1, 17, 500, 5000]
+            .iter()
+            .map(|&k| brute_top_k(&items, k))
+            .collect();
+        for b in all_backends() {
+            for (wi, &k) in [1usize, 17, 500, 5000].iter().enumerate() {
+                let m = model();
+                let out = with_backend(b, || top_k_by_weight(&m, &items, k, |&x| x));
+                assert_eq!(out, want[wi], "k={k} backend={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_inputs_stay_linear() {
+        // Already-sorted (ascending and descending) inputs: the random
+        // pivot sequence keeps the expected pass count geometric, and the
+        // result must match brute force exactly.
+        let n = 20_000u64;
+        let asc: Vec<u64> = (0..n).collect();
+        let desc: Vec<u64> = (0..n).rev().collect();
+        for items in [&asc, &desc] {
+            for b in all_backends() {
+                let m = model();
+                let out = with_backend(b, || top_k_by_weight(&m, items, 100, |&x| x));
+                assert_eq!(out, brute_top_k(items, 100), "backend={b:?}");
+                let reads = m.report().reads;
+                let n_over_b = n.div_ceil(64);
+                assert!(
+                    reads <= 8 * n_over_b,
+                    "sorted-input reads {reads} not O(n/B) = {n_over_b} (backend={b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_bit_identically_on_answers_and_ios() {
+        let items: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B9) % 2048).collect();
+        for k in [1usize, 32, 1000, 4095] {
+            let mut reference: Option<(Vec<u64>, u64, u64)> = None;
+            for b in all_backends() {
+                let m = model();
+                let out = with_backend(b, || top_k_by_weight(&m, &items, k, |&x| x));
+                let rep = m.report();
+                let got = (out, rep.reads, rep.writes);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(&got, want, "k={k} backend={b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_keys_dispatch_and_agree_with_ord_fallback() {
+        let m = model();
+        let xs: Vec<i64> = (0..2000i64).map(|i| (i * 37 % 501) - 250).collect();
+        let kernel = top_k_by_key(&m, &xs, 40, |&x| x);
+        let generic = top_k_by_ord(&m, &xs, 40, |&x| x);
+        assert_eq!(kernel, generic);
+        let fs: Vec<f64> = (0..2000)
+            .map(|i| ((i * 37 % 501) as f64 - 250.0) * 1.5)
+            .collect();
+        let kernel = top_k_by_key(&m, &fs, 40, |&x| x);
+        let mut brute = fs.clone();
+        brute.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        brute.truncate(40);
+        assert_eq!(kernel, brute);
+        let us: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let kernel = top_k_by_key(&m, &us, 40, |&x| x);
+        let generic = top_k_by_ord(&m, &us, 40, |&x| x);
+        assert_eq!(kernel, generic);
+    }
+
+    #[test]
+    fn ord_fallback_handles_non_kernel_key_types() {
+        let m = model();
+        let items: Vec<(u8, u8)> = (0..300u16).map(|i| ((i % 17) as u8, (i % 11) as u8)).collect();
+        let out = top_k_by_ord(&m, &items, 5, |t| *t);
+        let mut brute = items.clone();
+        brute.sort_by_key(|t| std::cmp::Reverse(*t));
+        brute.truncate(5);
+        assert_eq!(out, brute);
     }
 }

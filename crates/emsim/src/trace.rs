@@ -101,6 +101,10 @@ pub enum TraceEvent {
     Fault,
     /// A retried read attempt (disk attempt number > 0).
     Retry,
+    /// A span closed after this many wall-clock nanoseconds (inclusive of
+    /// nested spans). Emitted once per [`SpanGuard`] drop; the only
+    /// non-deterministic field, and it never feeds back into I/O counts.
+    SpanNanos(u64),
 }
 
 /// A consumer of trace events and span boundaries.
@@ -156,6 +160,11 @@ pub struct PhaseStats {
     pub faults: u64,
     /// Retried read attempts made in this phase.
     pub retries: u64,
+    /// Wall-clock nanoseconds spent in spans labelled with this phase
+    /// (inclusive: a nested span's time also counts toward its ancestors).
+    /// Zero when the phase was only ever attributed via
+    /// [`phase_scope`] (no span boundary, so no timing).
+    pub nanos: u64,
 }
 
 impl PhaseStats {
@@ -173,6 +182,7 @@ impl PhaseStats {
             TraceEvent::PoolMiss => self.pool_misses += 1,
             TraceEvent::Fault => self.faults += 1,
             TraceEvent::Retry => self.retries += 1,
+            TraceEvent::SpanNanos(n) => self.nanos += n,
         }
     }
 
@@ -185,6 +195,7 @@ impl PhaseStats {
             pool_misses: self.pool_misses + other.pool_misses,
             faults: self.faults + other.faults,
             retries: self.retries + other.retries,
+            nanos: self.nanos + other.nanos,
         }
     }
 }
@@ -219,35 +230,49 @@ impl CostReport {
     pub fn render(&self, title: &str) -> String {
         let mut out = format!("EXPLAIN {title}\n");
         out.push_str(
-            "  phase      reads  writes  pool_hit  pool_miss  faults  retries\n",
+            "  phase      reads  writes  pool_hit  pool_miss  faults  retries   time_us\n",
         );
         for (name, p) in &self.phases {
             out.push_str(&format!(
-                "  {name:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}\n",
-                p.reads, p.writes, p.pool_hits, p.pool_misses, p.faults, p.retries
+                "  {name:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}\n",
+                p.reads,
+                p.writes,
+                p.pool_hits,
+                p.pool_misses,
+                p.faults,
+                p.retries,
+                p.nanos / 1_000
             ));
         }
         let t = self.total();
         out.push_str(&format!(
-            "  {:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}\n",
-            "TOTAL", t.reads, t.writes, t.pool_hits, t.pool_misses, t.faults, t.retries
+            "  {:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}\n",
+            "TOTAL",
+            t.reads,
+            t.writes,
+            t.pool_hits,
+            t.pool_misses,
+            t.faults,
+            t.retries,
+            t.nanos / 1_000
         ));
         out
     }
 
     /// Render as a Prometheus-style text exposition (counter families
-    /// `emsim_phase_{reads,writes,pool_hits,pool_misses,faults,retries}`
+    /// `emsim_phase_{reads,writes,pool_hits,pool_misses,faults,retries,nanos}`
     /// with a `phase` label).
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         type Field = fn(&PhaseStats) -> u64;
-        let families: [(&str, Field); 6] = [
+        let families: [(&str, Field); 7] = [
             ("emsim_phase_reads", |p| p.reads),
             ("emsim_phase_writes", |p| p.writes),
             ("emsim_phase_pool_hits", |p| p.pool_hits),
             ("emsim_phase_pool_misses", |p| p.pool_misses),
             ("emsim_phase_faults", |p| p.faults),
             ("emsim_phase_retries", |p| p.retries),
+            ("emsim_phase_nanos", |p| p.nanos),
         ];
         for (family, get) in families {
             out.push_str(&format!("# TYPE {family} counter\n"));
@@ -465,17 +490,27 @@ pub(crate) fn pop_phase(phase: &'static str) {
 
 /// RAII guard returned by [`CostModel::span`]: the phase stays the
 /// thread's innermost attribution target until the guard drops. With no
-/// sink armed the guard is inert (nothing was pushed).
+/// sink armed the guard is inert (nothing was pushed, nothing is timed).
+///
+/// On drop the guard emits one [`TraceEvent::SpanNanos`] carrying the
+/// span's inclusive wall-clock duration, so `CostReport`s show time next
+/// to I/O counts. The timestamp never influences what gets charged —
+/// traced runs stay I/O-deterministic.
 #[derive(Debug)]
 #[must_use = "a span attributes nothing unless it is held open"]
 pub struct SpanGuard {
     pub(crate) sink: Option<Arc<dyn TraceSink>>,
     pub(crate) phase: &'static str,
+    pub(crate) start: Option<Instant>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(sink) = self.sink.take() {
+            if let Some(start) = self.start.take() {
+                let nanos = start.elapsed().as_nanos() as u64;
+                sink.event(self.phase, TraceEvent::SpanNanos(nanos));
+            }
             pop_phase(self.phase);
             sink.span_end(self.phase);
         }
