@@ -15,25 +15,25 @@ fn bench_builds(c: &mut Criterion) {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             topk_core::PrioritizedIndex::<_, f64>::len(&interval::SegStabBuilder.build(&model, items.clone()))
-        })
+        });
     });
     g.bench_function("interval/pststab", |b| {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             topk_core::PrioritizedIndex::<_, f64>::len(&interval::PstStabBuilder.build(&model, items.clone()))
-        })
+        });
     });
     g.bench_function("interval/stabmax", |b| {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             MaxIndex::<_, f64>::len(&interval::StabMaxBuilder.build(&model, items.clone()))
-        })
+        });
     });
     g.bench_function("interval/topk_thm2", |b| {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             interval::TopKStabbing::build(&model, items.clone(), 1).space_blocks()
-        })
+        });
     });
 
     let pts = workloads::points::uniform2(n, 100.0, 2);
@@ -41,13 +41,13 @@ fn bench_builds(c: &mut Criterion) {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             halfspace::ConvexLayersHalfplane::build(&model, pts.clone()).layer_count()
-        })
+        });
     });
     g.bench_function("halfspace/hull_tree_max", |b| {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             halfspace::WeightHullTree::build(&model, pts.clone()).hull_vertices()
-        })
+        });
     });
 
     let hotels = workloads::hotels::uniform(n, 3);
@@ -55,7 +55,7 @@ fn bench_builds(c: &mut Criterion) {
         b.iter(|| {
             let model = CostModel::new(EmConfig::new(64));
             topk_core::PrioritizedIndex::<_, [f64; 3]>::len(&dominance::DomPriBuilder.build(&model, hotels.clone()))
-        })
+        });
     });
     g.finish();
 }

@@ -26,7 +26,7 @@ fn bench_interval(c: &mut Criterion) {
                     t2.query_topk(&q, k, &mut out);
                 }
                 out.len()
-            })
+            });
         });
     }
 
@@ -41,7 +41,7 @@ fn bench_interval(c: &mut Criterion) {
                     t1.query_topk(&q, k, &mut out);
                 }
                 out.len()
-            })
+            });
         });
     }
 
@@ -57,7 +57,7 @@ fn bench_interval(c: &mut Criterion) {
                 sc.query_topk(&q, 10, &mut out);
             }
             out.len()
-        })
+        });
     });
     g.finish();
 }
@@ -78,7 +78,7 @@ fn bench_enclosure(c: &mut Criterion) {
                 idx.query_topk(q, 10, &mut out);
             }
             out.len()
-        })
+        });
     });
     g.finish();
 }
@@ -99,7 +99,7 @@ fn bench_dominance(c: &mut Criterion) {
                 idx.query_topk(q, 10, &mut out);
             }
             out.len()
-        })
+        });
     });
     g.finish();
 }
@@ -120,7 +120,7 @@ fn bench_halfspace(c: &mut Criterion) {
                 idx.query_topk(q, 10, &mut out);
             }
             out.len()
-        })
+        });
     });
 
     let disks = workloads::points::disks(16, 80.0, 9);
@@ -135,7 +135,7 @@ fn bench_halfspace(c: &mut Criterion) {
                 circ.query_topk(q, 10, &mut out);
             }
             out.len()
-        })
+        });
     });
     g.finish();
 }
@@ -160,7 +160,7 @@ fn bench_baseline_duel(c: &mut Criterion) {
                     t2.query_topk(q, k, &mut out);
                 }
                 out.len()
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("binsearch28", k), &k, |b, &k| {
             b.iter(|| {
@@ -170,7 +170,7 @@ fn bench_baseline_duel(c: &mut Criterion) {
                     bs.query_topk(q, k, &mut out);
                 }
                 out.len()
-            })
+            });
         });
     }
     g.finish();

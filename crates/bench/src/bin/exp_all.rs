@@ -20,6 +20,8 @@
 //!   every phase span across all experiments (see OBSERVABILITY.md).
 //!   Purely observational: I/O counts are identical with or without it.
 
+use std::fmt::Write as _;
+
 use bench::parallel::{all_experiments, default_threads, run_experiments, ExpOutcome};
 use bench::table::f;
 use bench::tracectl::TraceGuard;
@@ -39,7 +41,7 @@ fn main() {
                 threads = args
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .expect("--threads needs a positive integer")
+                    .expect("--threads needs a positive integer");
             }
             "--sequential" => threads = 1,
             "--json" => json_path = args.next().expect("--json needs a path"),
@@ -138,13 +140,14 @@ fn main() {
 /// latency / I/O histograms (nearest-rank percentiles).
 fn render_json(scale: Scale, threads: usize, total_elapsed_ms: f64, outcomes: &[ExpOutcome]) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    s.push_str(&format!("  \"threads\": {threads},\n"));
-    s.push_str(&format!("  \"total_elapsed_ms\": {total_elapsed_ms:.1},\n"));
+    let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"total_elapsed_ms\": {total_elapsed_ms:.1},");
     s.push_str("  \"experiments\": {\n");
     for (i, o) in outcomes.iter().enumerate() {
-        s.push_str(&format!(
-            "    \"{}\": {{ \"elapsed_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {}, \"error\": {} }}{}\n",
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{ \"elapsed_ms\": {:.1}, \"reads\": {}, \"writes\": {}, \"total_ios\": {}, \"error\": {} }}{}",
             o.name,
             o.elapsed_ms,
             o.ios.reads,
@@ -152,7 +155,7 @@ fn render_json(scale: Scale, threads: usize, total_elapsed_ms: f64, outcomes: &[
             o.ios.total(),
             o.error.as_deref().map_or("null".to_string(), json_str),
             if i + 1 == outcomes.len() { "" } else { "," }
-        ));
+        );
     }
     s.push_str("  },\n");
     let mut elapsed = Histogram::new();
@@ -191,7 +194,9 @@ fn json_str(raw: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }

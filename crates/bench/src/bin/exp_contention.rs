@@ -24,6 +24,7 @@
 //! deterministic per (policy, threads) cell even though the timings are
 //! not.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -131,7 +132,7 @@ fn main() {
     let scale = Scale::from_env(Scale::Paper);
     let accesses = scale.n(1_600_000);
 
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "== contention microbenchmark — {accesses} touches/thread, \
          {shards} shards, {cores} core(s) =="
@@ -162,8 +163,7 @@ fn main() {
         let base = cells
             .iter()
             .find(|c| c.policy == name && c.threads == threads[0])
-            .map(|c| c.mtps)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |c| c.mtps);
         for c in cells.iter().filter(|c| c.policy == name) {
             println!(
                 "{:>14}  threads={:<2}  scaling vs t={}: {:.2}x",
@@ -178,15 +178,16 @@ fn main() {
     if let Some(path) = json_path {
         let mut out = String::from("{\n  \"results\": [\n");
         for (i, c) in cells.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"policy\": \"{}\", \"threads\": {}, \"mtouch_per_sec\": {:.4}}}{}\n",
+            let _ = writeln!(
+                out,
+                "    {{\"policy\": \"{}\", \"threads\": {}, \"mtouch_per_sec\": {:.4}}}{}",
                 c.policy,
                 c.threads,
                 c.mtps,
                 if i + 1 < cells.len() { "," } else { "" }
-            ));
+            );
         }
-        out.push_str(&format!("  ],\n  \"cores\": {cores}\n}}\n"));
+        let _ = writeln!(out, "  ],\n  \"cores\": {cores}\n}}");
         std::fs::write(&path, out).expect("write --json output");
         println!("wrote {path}");
     }

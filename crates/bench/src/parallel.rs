@@ -103,7 +103,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn default_threads() -> usize {
     match std::env::var("BENCH_THREADS").ok().and_then(|s| s.parse().ok()) {
         Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     }
 }
 
@@ -134,7 +134,7 @@ pub fn run_experiments(exps: &[Experiment], scale: Scale, threads: usize) -> Vec
                 };
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 let ios = emsim::thread_charged().since(&io_before);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(ExpOutcome {
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ExpOutcome {
                     name: exp.name,
                     table,
                     elapsed_ms,
@@ -148,7 +148,7 @@ pub fn run_experiments(exps: &[Experiment], scale: Scale, threads: usize) -> Vec
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker exited without storing a result")
         })
         .collect()

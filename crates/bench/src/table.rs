@@ -1,6 +1,6 @@
 //! Plain-text table rendering for the experiment binaries.
 
-use std::fmt::Display;
+use std::fmt::{Display, Write as _};
 
 /// A printable results table.
 pub struct Table {
@@ -14,7 +14,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -50,11 +50,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&format!("\n== {} ==\n", self.title));
+        let _ = write!(out, "\n== {} ==\n", self.title);
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for (i, c) in cells.iter().enumerate() {
-                line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+                let _ = write!(line, "{:>width$}  ", c, width = widths[i]);
             }
             line.trim_end().to_string()
         };

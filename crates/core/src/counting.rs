@@ -340,7 +340,7 @@ mod tests {
     struct OverRC(PrefixRC);
     impl RepCntIndex<ToyElem, u64> for OverRC {
         fn report_while(&self, q: &u64, visit: &mut dyn FnMut(&ToyElem) -> bool) {
-            self.0.report_while(q, visit)
+            self.0.report_while(q, visit);
         }
         fn count(&self, q: &u64) -> usize {
             2 * self.0.count(q)
@@ -363,7 +363,7 @@ mod tests {
         (0..n)
             .map(|i| ToyElem {
                 x: (i * 37) % 101,
-                w: (i * 2654435761) % (1 << 40) + i + 1,
+                w: (i * 2_654_435_761) % (1 << 40) + i + 1,
             })
             .collect()
     }

@@ -50,9 +50,6 @@
 //! results. `Ok`-and-`Exact` answers match the fault-free output
 //! bit-for-bit; this is asserted by the chaos experiments in `topk-bench`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod baseline;
 pub mod batch;
 pub mod brute;

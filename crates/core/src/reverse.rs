@@ -51,7 +51,7 @@ where
             let mut out = Vec::new();
             self.inner.query_topk(q, k, &mut out);
             let exhausted_qd = out.len() < k;
-            let crossed_tau = out.last().map(|e| e.weight() < tau).unwrap_or(false);
+            let crossed_tau = out.last().is_some_and(|e| e.weight() < tau);
             if exhausted_qd || crossed_tau || k >= self.n.max(1) {
                 for e in &out {
                     if e.weight() >= tau {

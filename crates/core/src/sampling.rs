@@ -53,6 +53,9 @@ impl Lemma1Params {
 /// scan-for-threshold kernel (`w > weight` ⇔ `w ≥ weight + 1`).
 pub fn rank_of(weights: &[Weight], weight: Weight) -> usize {
     match weight.checked_add(1) {
+        // allow_invariant(select-chokepoint): rank counting is a scan
+        // primitive, not a top-k selection — it returns a count, never
+        // elements, so `select_top_k` cannot express it.
         Some(pivot) => emsim::kernels::count_ge(weights, pivot) + 1,
         None => 1, // nothing exceeds u64::MAX
     }

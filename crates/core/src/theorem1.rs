@@ -7,8 +7,8 @@
 //! structure with
 //!
 //! * space `S_top(n) = O(S_pri(n))`, and
-//! * query cost `O(Q_pri(n) · log n / (log B + log(Q_pri(n)/log_B n)))
-//!   + O(k/B)` — i.e. at most an `O(log_B n)` slowdown.
+//! * query cost `O(Q_pri(n) · log n / (log B + log(Q_pri(n)/log_B n))) + O(k/B)`
+//!   — i.e. at most an `O(log_B n)` slowdown.
 //!
 //! ## Construction (§3.2)
 //!
@@ -64,7 +64,7 @@ impl Theorem1Params {
         Theorem1Params {
             lambda,
             f_constant: 12.0,
-            seed: 0x7061706572, // "paper"
+            seed: 0x70_6170_6572, // "paper"
         }
     }
 
@@ -305,7 +305,7 @@ impl<I> Hierarchy<I> {
         E: Element,
         I: PrioritizedIndex<E, Q>,
     {
-        self.levels.iter().map(|l| l.space_blocks()).sum()
+        self.levels.iter().map(super::traits::PrioritizedIndex::space_blocks).sum()
     }
 }
 
@@ -437,15 +437,12 @@ where
             return;
         }
         // Smallest rung with K ≥ k.
-        let rung = match self.ladder.iter().find(|r| r.k_cap >= k) {
-            Some(r) => r,
-            None => {
-                // k exceeds the ladder (can only happen for tiny n): exact.
-                let mut s = Vec::new();
-                self.d_structure().query(q, 0, &mut s);
-                out.extend(select_top_k(&self.model, &s, k));
-                return;
-            }
+        let Some(rung) = self.ladder.iter().find(|r| r.k_cap >= k) else {
+            // k exceeds the ladder (can only happen for tiny n): exact.
+            let mut s = Vec::new();
+            self.d_structure().query(q, 0, &mut s);
+            out.extend(select_top_k(&self.model, &s, k));
+            return;
         };
         let cap = rung.k_cap;
 
@@ -531,9 +528,8 @@ where
         if 2 * k >= n {
             return self.try_full_exact(q, k, retrier, mark);
         }
-        let rung = match self.ladder.iter().find(|r| r.k_cap >= k) {
-            Some(r) => r,
-            None => return self.try_full_exact(q, k, retrier, mark),
+        let Some(rung) = self.ladder.iter().find(|r| r.k_cap >= k) else {
+            return self.try_full_exact(q, k, retrier, mark);
         };
         let cap = rung.k_cap;
         let d = self.d_structure();

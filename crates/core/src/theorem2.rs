@@ -64,7 +64,7 @@ impl Default for Theorem2Params {
         Theorem2Params {
             sigma: 0.05,
             k1_constant: 1.0,
-            seed: 0x746f706b32, // "topk2"
+            seed: 0x74_6f70_6b32, // "topk2"
         }
     }
 }
@@ -175,7 +175,7 @@ where
 
     /// Sizes of the samples `R_1..R_h` (diagnostics for `exp_theorem2`).
     pub fn sample_sizes(&self) -> Vec<usize> {
-        self.maxes.iter().map(|m| m.len()).collect()
+        self.maxes.iter().map(super::traits::MaxIndex::len).collect()
     }
 
     /// Number of elements currently stored.
@@ -281,12 +281,9 @@ where
             let _g = self.model.span(phase::SAMPLE);
             self.maxes[j].try_query_max(q, retrier)
         };
-        let e = match max_query {
-            Ok(e) => e,
-            Err(_) => {
-                mark.note(&self.model);
-                return None;
-            }
+        let Ok(e) = max_query else {
+            mark.note(&self.model);
+            return None;
         };
         let tau = match &e {
             Some(e) => e.weight(),
@@ -473,7 +470,7 @@ where
         let per = self.model.config().items_per_block::<E>().max(1) as u64;
         let data_blocks = (self.data.len() as u64).div_ceil(per);
         self.pri.space_blocks()
-            + self.maxes.iter().map(|m| m.space_blocks()).sum::<u64>()
+            + self.maxes.iter().map(super::traits::MaxIndex::space_blocks).sum::<u64>()
             + data_blocks
     }
 

@@ -356,7 +356,7 @@ impl crate::traits::DynamicIndex<ToyElem> for DynPrefixIndex {
     fn insert(&mut self, e: ToyElem) {
         let pos = self.items.partition_point(|x| x.w > e.w);
         assert!(
-            self.items.get(pos).map(|x| x.w != e.w).unwrap_or(true),
+            self.items.get(pos).is_none_or(|x| x.w != e.w),
             "duplicate weight {}",
             e.w
         );

@@ -121,8 +121,7 @@ impl FaultMark {
     /// Block I/Os since the first noted fault (0 if none was noted).
     pub(crate) fn extra(&self, model: &CostModel) -> u64 {
         self.at
-            .map(|m| model.report().total().saturating_sub(m))
-            .unwrap_or(0)
+            .map_or(0, |m| model.report().total().saturating_sub(m))
     }
 }
 

@@ -14,9 +14,6 @@
 //! Theorem 2 then assembles the top-k structure — the reduction is
 //! black-box, so its behaviour (the thing under test) is unchanged.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use emsim::CostModel;
 use geom::point::PointD;
 use structures::kdtree::{DominanceRegion, KdPoint, KdTree};
@@ -327,17 +324,17 @@ impl MaxIndex<Hotel, [f64; 3]> for DomZTree {
         self.canonical_z(root, qz, &mut |xy, need_z_filter| {
             if need_z_filter {
                 // Straddling leaf: threshold-scan with z filtering.
-                let floor = best.as_ref().map(|b| b.weight.saturating_add(1)).unwrap_or(0);
+                let floor = best.as_ref().map_or(0, |b| b.weight.saturating_add(1));
                 xy.for_each_in(Self::NEG, qx, Self::NEG, qy, floor, &mut |h| {
                     if h.coords[2] <= qz
-                        && best.as_ref().map(|b| h.weight > b.weight).unwrap_or(true)
+                        && best.as_ref().is_none_or(|b| h.weight > b.weight)
                     {
                         best = Some(*h);
                     }
                     true
                 });
             } else if let Some(h) = xy.max_in(Self::NEG, qx, Self::NEG, qy) {
-                if best.as_ref().map(|b| h.weight > b.weight).unwrap_or(true) {
+                if best.as_ref().is_none_or(|b| h.weight > b.weight) {
                     best = Some(h);
                 }
             }

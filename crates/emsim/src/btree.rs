@@ -682,10 +682,10 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             *count += node.keys.len();
         } else {
             assert_eq!(node.children.len(), node.keys.len() + 1);
-            if !is_root {
-                assert!(node.children.len() >= self.min_fill(), "underfull internal");
-            } else {
+            if is_root {
                 assert!(node.children.len() >= 2, "trivial root");
+            } else {
+                assert!(node.children.len() >= self.min_fill(), "underfull internal");
             }
             assert!(node.children.len() <= self.fanout + 1, "overfull internal");
             for (i, &c) in node.children.iter().enumerate() {
@@ -774,7 +774,7 @@ mod tests {
         let mut keys: Vec<u64> = (0..3_000).collect();
         let mut x = 9u64;
         for i in (1..keys.len()).rev() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             keys.swap(i, (x % (i as u64 + 1)) as usize);
         }
         for &k in &keys {
@@ -798,7 +798,7 @@ mod tests {
         let mut keys: Vec<u64> = (0..2_000).collect();
         let mut x = 77u64;
         for i in (1..keys.len()).rev() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             keys.swap(i, (x % (i as u64 + 1)) as usize);
         }
         for (step, &k) in keys.iter().enumerate() {
@@ -819,7 +819,7 @@ mod tests {
         let mut reference = BTreeMap::new();
         let mut x = 42u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
             let key = ((x >> 32) % 500) as u32;
             match x % 3 {
                 0 => {
@@ -882,9 +882,9 @@ mod tests {
         let mut t: BTree<u32, u32> = BTree::new(&m);
         assert_eq!(t.fanout, 4, "B=1 word clamps fanout to the minimum");
         let mut reference = BTreeMap::new();
-        let mut x = 0xDEC0DEu64;
+        let mut x = 0xDE_C0DEu64;
         for round in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
             let key = ((x >> 33) % 120) as u32;
             // Bias phases: mostly inserts early, mostly deletes late, so the
             // tree repeatedly grows through splits and drains through

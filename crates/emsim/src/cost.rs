@@ -26,8 +26,8 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, MutexGuard};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use crate::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::EmError;
 use crate::fault::{self, FaultPlan};
@@ -40,7 +40,7 @@ use crate::trace::{self, CostReport, RecordingSink, SpanGuard, TraceEvent, Trace
 /// panic, so a worker thread that dies mid-experiment must not cascade the
 /// poison into every other experiment sharing the meter.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Which buffer-pool implementation a [`CostModel`] routes block touches

@@ -17,17 +17,19 @@
 //! soak test can subject every [`crate::CostModel`] created afterwards to
 //! the same failure regime without threading a plan through every build.
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use crate::sync::Mutex;
 
 use crate::error::EmError;
 
-/// SplitMix64 finalizer: the bit mixer behind every fault decision (also
+/// `SplitMix64` finalizer: the bit mixer behind every fault decision (also
 /// used by the storage layer to derive per-block checksum sentinels).
 pub(crate) fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
@@ -36,9 +38,9 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-const SALT_TRANSIENT: u64 = 0x7472616E7369; // "transi"
-const SALT_PERMANENT: u64 = 0x7065726D; // "perm"
-const SALT_CORRUPT: u64 = 0x636F7272; // "corr"
+const SALT_TRANSIENT: u64 = 0x7472_616E_7369; // "transi"
+const SALT_PERMANENT: u64 = 0x7065_726D; // "perm"
+const SALT_CORRUPT: u64 = 0x636F_7272; // "corr"
 
 /// A deterministic, seed-driven description of which block reads fail.
 ///
@@ -137,7 +139,7 @@ impl FaultPlan {
             && unit(self.hash(SALT_CORRUPT, array_id, block, 0)) < self.corrupt
     }
 
-    /// A nonzero mask XORed into a corrupted block's stored checksum to
+    /// A nonzero mask `XORed` into a corrupted block's stored checksum to
     /// model the scrambled payload a real device would return.
     pub fn corruption_mask(&self, array_id: u64, block: u64) -> u64 {
         self.hash(SALT_CORRUPT ^ 0xFF, array_id, block, 0) | 1
@@ -261,7 +263,7 @@ fn env_plan() -> Option<FaultPlan> {
 /// [`crate::CostModel::set_fault_plan`] calls still override it per meter).
 /// Used by soak tests; pair with [`clear_global_plan`].
 pub fn install_global_plan(plan: FaultPlan) {
-    *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    *GLOBAL_PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = plan;
     GLOBAL_ACTIVE.store(true, Relaxed);
 }
 
@@ -274,7 +276,7 @@ pub fn clear_global_plan() {
 /// the environment plan, else [`FaultPlan::none`].
 pub fn ambient_plan() -> FaultPlan {
     if GLOBAL_ACTIVE.load(Relaxed) {
-        return *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        return *GLOBAL_PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     }
     env_plan().unwrap_or_else(FaultPlan::none)
 }

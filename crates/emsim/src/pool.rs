@@ -279,7 +279,7 @@ mod tests {
         let mut model: Vec<(u64, u64)> = Vec::new();
         let mut x: u64 = 12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
             let key = (x >> 61, (x >> 33) % 6);
             let hit = p.access(key.0, key.1);
             let model_hit = if let Some(pos) = model.iter().position(|&k| k == key) {

@@ -183,7 +183,7 @@ pub fn kth_largest<T>(
 /// stable: every backend sees the same key order, draws the same pivots,
 /// and charges the same `⌈m/B'⌉` scan per pass.
 fn kth_largest_bits(model: &CostModel, mut keys: Vec<u64>, mut k: usize) -> u64 {
-    let mut state: u64 = 0x9E3779B97F4A7C15 ^ (keys.len() as u64);
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (keys.len() as u64);
     loop {
         if keys.len() <= 32 {
             model.charge_scan::<u64>(keys.len());
@@ -195,8 +195,8 @@ fn kth_largest_bits(model: &CostModel, mut keys: Vec<u64>, mut k: usize) -> u64 
         // pivot (the partition costs I/Os; the pivot draw does not).
         let draw = |state: &mut u64| {
             *state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             keys[(*state % keys.len() as u64) as usize]
         };
         let (a, b, c) = (draw(&mut state), draw(&mut state), draw(&mut state));
@@ -218,7 +218,7 @@ fn kth_largest_bits(model: &CostModel, mut keys: Vec<u64>, mut k: usize) -> u64 
 /// keys — the comparison-based fallback path. Identical pivot-draw
 /// sequence and metered charges.
 fn kth_largest_ord<K: Ord + Copy>(model: &CostModel, mut keys: Vec<K>, mut k: usize) -> K {
-    let mut state: u64 = 0x9E3779B97F4A7C15 ^ (keys.len() as u64);
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (keys.len() as u64);
     loop {
         if keys.len() <= 32 {
             model.charge_scan::<u64>(keys.len());
@@ -227,8 +227,8 @@ fn kth_largest_ord<K: Ord + Copy>(model: &CostModel, mut keys: Vec<K>, mut k: us
         }
         let draw = |state: &mut u64| {
             *state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             keys[(*state % keys.len() as u64) as usize]
         };
         let (a, b, c) = (draw(&mut state), draw(&mut state), draw(&mut state));
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn top_k_matches_brute_force() {
         let m = model();
-        let items: Vec<u64> = (0..777u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let items: Vec<u64> = (0..777u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
         for k in [0, 1, 5, 100, 776, 777, 800] {
             assert_eq!(
                 top_k_by_weight(&m, &items, k, |&x| x),
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn selection_cost_is_linear_in_n_over_b() {
         let m = model();
-        let items: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let items: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
         m.reset();
         kth_largest(&m, &items, 50_000, &|&x| x);
         let reads = m.report().reads;
@@ -411,7 +411,7 @@ mod tests {
 
     #[test]
     fn backends_agree_bit_identically_on_answers_and_ios() {
-        let items: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B9) % 2048).collect();
+        let items: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 2048).collect();
         for k in [1usize, 32, 1000, 4095] {
             let mut reference: Option<(Vec<u64>, u64, u64)> = None;
             for b in all_backends() {
@@ -442,7 +442,7 @@ mod tests {
         brute.sort_by(|a, b| b.partial_cmp(a).unwrap());
         brute.truncate(40);
         assert_eq!(kernel, brute);
-        let us: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let us: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(2_654_435_761) % 997).collect();
         let kernel = top_k_by_key(&m, &us, 40, |&x| x);
         let generic = top_k_by_ord(&m, &us, 40, |&x| x);
         assert_eq!(kernel, generic);

@@ -25,8 +25,8 @@
 //! test `pool_property.rs` pins that equivalence.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use crate::sync::Mutex;
 
 use crate::cost::lock_recover;
 

@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn sorts_correctly() {
         let m = CostModel::new(EmConfig::with_memory(64, 8));
-        let mut v: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut v: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         external_sort_by(&m, &mut v, |&x| x);

@@ -47,8 +47,11 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use crate::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::cost::lock_recover;
@@ -233,8 +236,9 @@ impl CostReport {
             "  phase      reads  writes  pool_hit  pool_miss  faults  retries   time_us\n",
         );
         for (name, p) in &self.phases {
-            out.push_str(&format!(
-                "  {name:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}\n",
+            let _ = writeln!(
+                out,
+                "  {name:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}",
                 p.reads,
                 p.writes,
                 p.pool_hits,
@@ -242,11 +246,12 @@ impl CostReport {
                 p.faults,
                 p.retries,
                 p.nanos / 1_000
-            ));
+            );
         }
         let t = self.total();
-        out.push_str(&format!(
-            "  {:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}\n",
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>6}  {:>6}  {:>8}  {:>9}  {:>6}  {:>7}  {:>8}",
             "TOTAL",
             t.reads,
             t.writes,
@@ -255,7 +260,7 @@ impl CostReport {
             t.faults,
             t.retries,
             t.nanos / 1_000
-        ));
+        );
         out
     }
 
@@ -275,9 +280,9 @@ impl CostReport {
             ("emsim_phase_nanos", |p| p.nanos),
         ];
         for (family, get) in families {
-            out.push_str(&format!("# TYPE {family} counter\n"));
+            let _ = writeln!(out, "# TYPE {family} counter");
             for (name, p) in &self.phases {
-                out.push_str(&format!("{family}{{phase=\"{name}\"}} {}\n", get(p)));
+                let _ = writeln!(out, "{family}{{phase=\"{name}\"}} {}", get(p));
             }
         }
         out
@@ -392,11 +397,12 @@ impl ChromeTraceSink {
         let done = lock_recover(&self.done);
         let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
         for (i, s) in done.iter().enumerate() {
-            out.push_str(&format!(
+            let _ = writeln!(
+                out,
                 "{{\"name\": \"{}\", \"cat\": \"emsim\", \"ph\": \"X\", \"pid\": 1, \
                  \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"reads\": {}, \
                  \"writes\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \"faults\": {}, \
-                 \"retries\": {}}}}}{}\n",
+                 \"retries\": {}}}}}{}",
                 s.phase,
                 s.tid,
                 s.ts_us,
@@ -408,7 +414,7 @@ impl ChromeTraceSink {
                 s.stats.faults,
                 s.stats.retries,
                 if i + 1 == done.len() { "" } else { "," }
-            ));
+            );
         }
         out.push_str("]\n}\n");
         out
@@ -446,7 +452,7 @@ impl TraceSink for ChromeTraceSink {
         let tid = thread_tag();
         let popped = lock_recover(&self.open)
             .get_mut(&tid)
-            .and_then(|stack| stack.pop());
+            .and_then(std::vec::Vec::pop);
         if let Some(mut span) = popped {
             debug_assert_eq!(span.phase, phase, "spans nest LIFO per thread");
             span.dur_us = self.now_us().saturating_sub(span.ts_us);

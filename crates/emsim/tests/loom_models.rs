@@ -1,0 +1,171 @@
+//! Concurrency models for the meter's shared state, run under `loom`.
+//!
+//! Build with the `loom` feature so every atomic and mutex inside `emsim`
+//! goes through the instrumented `loom::sync` types (`src/sync.rs`):
+//!
+//! ```text
+//! cargo test -p emsim --features loom --test loom_models --release
+//! ```
+//!
+//! Each model spins up a handful of threads against a deliberately tiny
+//! structure — a `ShardedPool` small enough that CLOCK eviction fires on
+//! nearly every admit, a `CostModel` whose scoped children roll up
+//! concurrently — and asserts the invariants the sequential tests pin,
+//! but now across every thread schedule the checker explores. With the
+//! offline loom shim that exploration is randomized preemption rather
+//! than exhaustive DPOR (see `shims/README.md`); the models themselves
+//! are written against the real loom API, so a registry build upgrades
+//! the guarantee without touching this file.
+
+#![cfg(feature = "loom")]
+
+use emsim::{CostModel, EmConfig, PoolPolicy, ShardedPool};
+use loom::sync::Arc;
+use loom::thread;
+
+/// Counter soundness under contention: hits + misses equals the exact
+/// number of accesses issued, no matter how probes, admits, and CLOCK
+/// sweeps interleave, and residency never exceeds capacity.
+#[test]
+fn sharded_pool_counters_exact_under_contention() {
+    loom::model(|| {
+        const THREADS: u64 = 3;
+        const ACCESSES: u64 = 8;
+        // 2 shards × 2 frames: with 6 distinct blocks in flight the clock
+        // hand sweeps constantly, so eviction races get exercised.
+        let pool = Arc::new(ShardedPool::new(4, 2));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    for i in 0..ACCESSES {
+                        // Overlapping but not identical block sets per
+                        // thread, so shards see both contention and reuse.
+                        pool.access(0, (t + i) % 6);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = pool.stats();
+        assert_eq!(
+            hits + misses,
+            THREADS * ACCESSES,
+            "every access must be counted exactly once (hits={hits}, misses={misses})"
+        );
+        assert!(
+            pool.len() <= pool.capacity(),
+            "CLOCK eviction must keep residency within capacity ({} > {})",
+            pool.len(),
+            pool.capacity()
+        );
+    });
+}
+
+/// The split probe → record_miss/admit protocol (the `try_*` read path)
+/// must stay consistent when the disk-outcome half races with other
+/// threads' probes on the same shard.
+#[test]
+fn sharded_pool_split_protocol_counts_every_outcome() {
+    loom::model(|| {
+        let pool = Arc::new(ShardedPool::new(2, 1));
+        let handles: Vec<_> = (0..2u64)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    for i in 0..6u64 {
+                        let block = (t * 2 + i) % 4;
+                        if !pool.probe(0, block) {
+                            // Simulate the disk read: even blocks succeed
+                            // and cache, odd blocks fail and must not.
+                            if block % 2 == 0 {
+                                pool.admit(0, block);
+                            } else {
+                                pool.record_miss(0, block);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits + misses, 12, "12 accesses issued, all must be tallied");
+        assert!(pool.len() <= pool.capacity());
+    });
+}
+
+/// Scoped-meter rollup: concurrent trials charging isolated children must
+/// leave the parent with exactly the sum of the children's I/Os once all
+/// children drop — the property that makes parallel measurement exact.
+#[test]
+fn scoped_meter_rollup_is_exact() {
+    loom::model(|| {
+        const THREADS: u64 = 3;
+        const TOUCHES: u64 = 4;
+        let parent = CostModel::with_policy(
+            EmConfig::with_memory(4, 2),
+            PoolPolicy::ShardedClock { shards: 2 },
+        );
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let scoped = parent.scoped();
+                thread::spawn(move || {
+                    for i in 0..TOUCHES {
+                        // Distinct blocks per thread: each child records
+                        // TOUCHES cold misses, so the expected parent
+                        // total is exact, not schedule-dependent.
+                        scoped.touch(t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = parent.report();
+        assert_eq!(
+            report.reads,
+            THREADS * TOUCHES,
+            "parent must absorb exactly the children's reads"
+        );
+        assert_eq!(
+            report.pool_misses,
+            THREADS * TOUCHES,
+            "each child's cold misses roll up, none lost or doubled"
+        );
+        assert_eq!(report.writes, 0);
+    });
+}
+
+/// Direct concurrent charging of one shared meter (no scoping): the
+/// relaxed counters may interleave any way they like, but the totals must
+/// still be exact — counters are `fetch_add`, never read-modify-write.
+#[test]
+fn shared_meter_totals_exact() {
+    loom::model(|| {
+        const THREADS: u64 = 2;
+        const CHARGES: u64 = 5;
+        // No buffer pool: every touch is one read, so the expected total
+        // is exact regardless of interleaving.
+        let meter = CostModel::new(EmConfig::new(4));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let meter = meter.clone();
+                thread::spawn(move || {
+                    for i in 0..CHARGES {
+                        meter.touch(t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(meter.report().reads, THREADS * CHARGES);
+    });
+}

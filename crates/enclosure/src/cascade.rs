@@ -274,7 +274,7 @@ impl MaxIndex<Rect, Point2> for CascadeStabMax {
                 self.nodes[child].to_real[cpos as usize]
             };
             if let Some(r) = self.node_max(child, real, q.y) {
-                if best.map(|b| r.weight > b.weight).unwrap_or(true) {
+                if best.is_none_or(|b| r.weight > b.weight) {
                     best = Some(r);
                 }
             }

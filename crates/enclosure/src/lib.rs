@@ -20,9 +20,6 @@
 //! Top-k: [`TopKEnclosure`] (Theorem 2) and [`TopKEnclosureWorstCase`]
 //! (Theorem 1).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cascade;
 
 pub use cascade::{CascadeStabMax, CascadeStabMaxBuilder};
@@ -189,7 +186,7 @@ impl MaxIndex<Rect, Point2> for EncMax {
         let mut best: Option<Rect> = None;
         self.tree.for_each_on_path(q.x, &mut |inner| {
             if let Some(r) = inner.0.query_max(&q.y) {
-                if best.map(|b| r.weight > b.weight).unwrap_or(true) {
+                if best.is_none_or(|b| r.weight > b.weight) {
                     best = Some(r);
                 }
             }

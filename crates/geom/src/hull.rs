@@ -177,7 +177,7 @@ impl ConvexPolygon {
                 // Binary search for the fan triangle containing p.
                 let (mut lo, mut hi) = (1usize, n - 1);
                 while hi - lo > 1 {
-                    let mid = (lo + hi) / 2;
+                    let mid = usize::midpoint(lo, hi);
                     if Point2::cross(v0, self.verts[mid], p) >= 0.0 {
                         lo = mid;
                     } else {
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn hull_is_ccw_and_convex_on_random_points() {
-        let mut x: u64 = 88172645463325252;
+        let mut x: u64 = 88_172_645_463_325_252;
         let mut rnd = || {
             x ^= x << 13;
             x ^= x >> 7;
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn extreme_matches_linear_on_random_polygons() {
-        let mut x: u64 = 123456789;
+        let mut x: u64 = 123_456_789;
         let mut rnd = || {
             x ^= x << 13;
             x ^= x >> 7;

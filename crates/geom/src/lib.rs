@@ -22,9 +22,6 @@
 //!
 //! All coordinates are `f64` and must be finite; constructors assert this.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dual;
 pub mod halfplane;
 pub mod hull;

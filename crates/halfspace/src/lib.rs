@@ -18,9 +18,6 @@
 //! * **Circular** ([`circular`]): 2D points lifted to the paraboloid in
 //!   ℝ³; balls become halfspaces (Corollary 1).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod circular;
 pub mod hd;
 pub mod max2d;

@@ -1,7 +1,7 @@
 //! A dynamic interval-stabbing structure answering both prioritized and
 //! max queries.
 //!
-//! Stands in for the dynamic structures Theorem 4 cites (Tao SoCG'12 for
+//! Stands in for the dynamic structures Theorem 4 cites (Tao `SoCG`'12 for
 //! prioritized, Agarwal et al. for stabbing-max) — DESIGN.md
 //! substitution 2. Design:
 //!
@@ -255,7 +255,7 @@ impl MaxIndex<Interval, f64> for DynStabbing {
         self.model.touch(self.array_id, (self.cap + slab) as u64);
         for (_, iv) in self.partial[slab].iter().rev() {
             if iv.stabs(q) {
-                if best.map(|b| iv.weight > b.weight).unwrap_or(true) {
+                if best.is_none_or(|b| iv.weight > b.weight) {
                     best = Some(*iv);
                 }
                 break;
@@ -265,7 +265,7 @@ impl MaxIndex<Interval, f64> for DynStabbing {
         while u >= 1 {
             self.model.touch(self.array_id, u as u64);
             if let Some((_, iv)) = self.full[u].last_key_value() {
-                if best.map(|b| iv.weight > b.weight).unwrap_or(true) {
+                if best.is_none_or(|b| iv.weight > b.weight) {
                     best = Some(*iv);
                 }
             }

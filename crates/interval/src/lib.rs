@@ -13,7 +13,7 @@
 //!
 //! * [`PstStab`] — prioritized stabbing via an interval tree with two
 //!   priority search trees per node: **linear space**, `O(log² n + t)`
-//!   query (stands in for Tao's SoCG'12 ray-stabbing structure).
+//!   query (stands in for Tao's `SoCG`'12 ray-stabbing structure).
 //! * [`SegStab`] — prioritized stabbing via a segment tree with
 //!   weight-descending canonical lists: `O(n log n)` space,
 //!   `O(log n + t)` query. The space/query trade-off against [`PstStab`]
@@ -28,9 +28,6 @@
 //! and the assembled top-k indexes: [`TopKStabbing`] (Theorem 2),
 //! [`TopKStabbingWorstCase`] (Theorem 1), and [`DynTopKStabbing`]
 //! (Theorem 2 + updates).
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod dynamic;
 pub mod max;

@@ -8,9 +8,6 @@
 //! the cleanest end-to-end validation of both reductions with textbook
 //! substrates.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use emsim::CostModel;
 use geom::OrderedF64;
 use structures::PrioritySearchTree;

@@ -12,9 +12,6 @@
 //! `range1d`, the cleanest playground for studying the reductions on a
 //! problem the literature cares about.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use emsim::CostModel;
 use geom::point::PointD;
 use structures::kdtree::{BoxRegion, KdPoint, KdTree};

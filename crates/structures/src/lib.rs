@@ -27,9 +27,6 @@
 //!   *unweighted* reporting structure per node, turning any reporting
 //!   structure into a prioritized one at an `O(log)`/`O(f)` factor.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod kdtree;
 pub mod logmethod;
 pub mod pst;

@@ -8,7 +8,7 @@
 //! `O(log n · build(n)/n)`); a delete marks a tombstone, filtered at query
 //! time, with a global rebuild once tombstones reach half the live set.
 //!
-//! The paper's Theorem 4 cites bespoke dynamic structures (Tao SoCG'12,
+//! The paper's Theorem 4 cites bespoke dynamic structures (Tao `SoCG`'12,
 //! Agarwal et al.); this adapter is our documented substitution where a
 //! dynamic *prioritized* structure is needed (DESIGN.md substitution 2).
 //! It does not provide max queries (top-1 is not decomposable under
@@ -82,7 +82,7 @@ where
     /// Rebuild everything from the live elements (tombstones purged).
     fn global_rebuild(&mut self) {
         let mut all: Vec<E> = Vec::with_capacity(self.live);
-        for level in self.levels.iter_mut() {
+        for level in &mut self.levels {
             if let Some((items, _)) = level.take() {
                 all.extend(
                     items

@@ -3,7 +3,7 @@
 //! Stores elements with a totally ordered key `x` and a weight `w`, and
 //! reports every element with `x ∈ [x₁, x₂]` and `w ≥ τ` in
 //! `O(log n + t)` node visits. The tree is a max-heap on `w` and a balanced
-//! split tree on `x` (McCreight's classic construction). Subtrees of at
+//! split tree on `x` (`McCreight`'s classic construction). Subtrees of at
 //! most one block are stored as weight-descending *fat leaves*, so a query's
 //! output term costs `O(t/B)` I/Os rather than `O(t)`.
 //!
@@ -371,7 +371,7 @@ mod tests {
         let items: Vec<(i64, Item)> = (0..n)
             .map(|i| {
                 let x = i as i64;
-                (x, Item { x, w: (i as u64).wrapping_mul(2654435761) % (8 * n as u64) + 1 })
+                (x, Item { x, w: (i as u64).wrapping_mul(2_654_435_761) % (8 * n as u64) + 1 })
             })
             .collect();
         // Make weights distinct.

@@ -210,7 +210,7 @@ impl<E: PlanarPoint> RangeTree2D<E> {
         }
         if x1 <= node.x_lo && node.x_hi <= x2 {
             if let Some(e) = node.ys.max_in_range(OrderedF64::new(y1), OrderedF64::new(y2)) {
-                if best.as_ref().map(|b| e.weight() > b.weight()).unwrap_or(true) {
+                if best.as_ref().is_none_or(|b| e.weight() > b.weight()) {
                     *best = Some(e);
                 }
             }
@@ -224,7 +224,7 @@ impl<E: PlanarPoint> RangeTree2D<E> {
             _ => {
                 // Straddling leaf: threshold query above the current best
                 // with explicit x filtering.
-                let floor = best.as_ref().map(|b| b.weight().saturating_add(1)).unwrap_or(0);
+                let floor = best.as_ref().map_or(0, |b| b.weight().saturating_add(1));
                 node.ys.query_3sided(
                     OrderedF64::new(y1),
                     OrderedF64::new(y2),
@@ -232,7 +232,7 @@ impl<E: PlanarPoint> RangeTree2D<E> {
                     &mut |e| {
                         if e.px() >= x1
                             && e.px() <= x2
-                            && best.as_ref().map(|b| e.weight() > b.weight()).unwrap_or(true)
+                            && best.as_ref().is_none_or(|b| e.weight() > b.weight())
                         {
                             *best = Some(e.clone());
                         }

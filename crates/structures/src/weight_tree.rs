@@ -230,8 +230,7 @@ where
                 node.index.for_each(q, &mut |e| {
                     if best
                         .as_ref()
-                        .map(|b| e.weight() > b.weight())
-                        .unwrap_or(true)
+                        .is_none_or(|b| e.weight() > b.weight())
                     {
                         best = Some(e.clone());
                     }

@@ -5,9 +5,6 @@
 //! uniform-random permutations by default, with optional position
 //! correlation for adversarial-ish cases.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,7 +46,7 @@ pub fn skewed_weights(n: usize, rng: &mut StdRng) -> Vec<u64> {
 
 /// Interval workloads for Theorem 4.
 pub mod intervals {
-    use super::*;
+    use super::{StdRng, SeedableRng, distinct_weights, Rng};
     use interval::Interval;
 
     /// Uniform starts in `[0, span)`, lengths in `[0, max_len)`.
@@ -104,7 +101,7 @@ pub mod intervals {
 
 /// Rectangle workloads for Theorem 5.
 pub mod rects {
-    use super::*;
+    use super::{StdRng, SeedableRng, distinct_weights, Rng};
     use enclosure::Rect;
     use geom::Point2;
 
@@ -163,7 +160,7 @@ pub mod rects {
 
 /// 3D dominance workloads for Theorem 6.
 pub mod hotels {
-    use super::*;
+    use super::{StdRng, SeedableRng, distinct_weights, Rng};
     use dominance::Hotel;
 
     /// Uniform hotels in `[0, 100)³` (price, distance, 100 − security).
@@ -221,7 +218,7 @@ pub mod hotels {
 
 /// Point-cloud workloads for Theorem 3 / Corollary 1.
 pub mod points {
-    use super::*;
+    use super::{StdRng, SeedableRng, distinct_weights, Rng};
     use halfspace::{WPoint2, WPointD};
 
     /// Uniform 2D cloud in `[−span, span)²`.
@@ -263,7 +260,7 @@ pub mod points {
         (0..n)
             .map(|i| {
                 let mut coords = [0.0; D];
-                for c in coords.iter_mut() {
+                for c in &mut coords {
                     *c = rng.gen_range(-span..span);
                 }
                 WPointD::new(coords, ws[i])
@@ -297,7 +294,7 @@ pub mod points {
         (0..n)
             .map(|_| {
                 let mut normal = [0.0; D];
-                for c in normal.iter_mut() {
+                for c in &mut normal {
                     *c = rng.gen_range(-1.0..1.0);
                 }
                 if normal.iter().all(|&c| c == 0.0) {
@@ -326,7 +323,7 @@ pub mod points {
 /// structural weaknesses (interval-tree centers, kd splits, weight-order
 /// correlation). Used by the soak tests and available to the harness.
 pub mod adversarial {
-    use super::*;
+    use super::{StdRng, SeedableRng, Rng, distinct_weights};
     use interval::Interval;
 
     /// Intervals whose weights are perfectly correlated with their spans
@@ -392,7 +389,7 @@ pub mod adversarial {
 
 /// 1D workloads for the range1d showcase and the E6 baseline duel.
 pub mod line {
-    use super::*;
+    use super::{StdRng, SeedableRng, distinct_weights, Rng};
     use range1d::{Range, WPoint1};
 
     /// Uniform points on `[0, span)`.

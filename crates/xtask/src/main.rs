@@ -1,0 +1,109 @@
+//! `cargo xtask` — the workspace's own tooling. One subcommand so far:
+//!
+//! ```text
+//! cargo xtask analyze [--rule <id|name>] [--list-rules] [--bless-atomics]
+//! ```
+//!
+//! Exits nonzero on any rule violation; CI runs it as a required job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // cargo sets CARGO_MANIFEST_DIR to crates/xtask; the workspace root is
+    // two levels up. Fall back to the current directory for direct runs.
+    std::env::var_os("CARGO_MANIFEST_DIR").map_or_else(|| PathBuf::from("."), |d| PathBuf::from(d).join("../..").canonicalize().unwrap())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo xtask analyze [--rule <id|name>] [--list-rules] [--bless-atomics]\n\
+         \n\
+         Checks the workspace's load-bearing invariants (metering, select\n\
+         chokepoint, unsafe hygiene, phase taxonomy, atomic orderings).\n\
+         See DESIGN.md \"Static analysis & soundness\" for the rule catalog\n\
+         and the allow_invariant(...) exception policy."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut only = None;
+    let mut bless = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list-rules" => {
+                for r in xtask::diag::RULES {
+                    println!("{}  {}", r.id, r.name);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => {
+                i += 1;
+                let Some(key) = args.get(i) else { usage() };
+                match xtask::diag::rule_by_key(key) {
+                    Some(r) => only = Some(r),
+                    None => {
+                        eprintln!("xtask: unknown rule `{key}` (try --list-rules)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--bless-atomics" => bless = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let root = workspace_root();
+    let analysis = xtask::analyze(&root, only);
+
+    if bless {
+        let rendered = xtask::rules::atomics::render_expectations(&analysis.atomic_sites);
+        let path = root.join(xtask::ATOMICS_EXPECT);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("xtask: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask: blessed {} atomic sites into {}",
+            analysis.atomic_sites.len(),
+            xtask::ATOMICS_EXPECT
+        );
+        // Re-run so the exit status reflects the blessed state.
+        let analysis = xtask::analyze(&root, only);
+        return report(&analysis);
+    }
+
+    report(&analysis)
+}
+
+fn report(analysis: &xtask::Analysis) -> ExitCode {
+    for d in &analysis.diagnostics {
+        eprintln!("{d}");
+    }
+    let n = analysis.diagnostics.len();
+    if n == 0 {
+        println!(
+            "xtask analyze: clean — {} files, 0 violations",
+            analysis.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask analyze: {n} violation{} across {} files scanned",
+            if n == 1 { "" } else { "s" },
+            analysis.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

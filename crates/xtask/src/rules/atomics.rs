@@ -1,0 +1,221 @@
+//! INV05 `atomics-audit` — every atomic access is documented in the
+//! checked-in expectations file, `SeqCst` and mixed orderings loudest of
+//! all.
+//!
+//! The analyzer collects every `<field>.<op>(.., Ordering)` site in the
+//! workspace (ops: `load`, `store`, `swap`, `fetch_*`,
+//! `compare_exchange*`) and diffs the observed `(file, field, ordering)`
+//! set against `crates/xtask/atomics.expect`. The expectations file is
+//! the documentation: adding an atomic, changing an ordering, or touching
+//! the same field with two different orderings forces a diff in review.
+//! `cargo xtask analyze --bless-atomics` regenerates it; stale entries
+//! (documented but no longer observed) are violations too, so the file
+//! can never rot.
+//!
+//! The workspace convention is `Relaxed` everywhere: every atomic here is
+//! a statistics counter or an activation flag whose readers tolerate
+//! staleness, and cross-thread hand-off is done by mutexes and
+//! `thread::join` (see DESIGN.md "Static analysis & soundness"). Anything
+//! stronger — above all `SeqCst`, which usually means "didn't think about
+//! it" — must be introduced deliberately through the expectations file.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, ATOMICS_AUDIT};
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One observed atomic access site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AtomicSite {
+    /// File, relative to the workspace root (slash-normalized).
+    pub file: String,
+    /// The atomic field or static accessed.
+    pub field: String,
+    /// The memory ordering named at the call.
+    pub ordering: String,
+    /// The method called (`load`, `fetch_add`, ...; not part of identity).
+    pub op: String,
+    /// 1-based line of the access (not part of identity).
+    pub line: u32,
+    /// 1-based column (not part of identity).
+    pub col: u32,
+}
+
+impl AtomicSite {
+    fn key(&self) -> (String, String, String) {
+        (self.file.clone(), self.field.clone(), self.ordering.clone())
+    }
+}
+
+/// Collect every atomic access in one file.
+pub fn collect(ctx: &FileCtx) -> Vec<AtomicSite> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(op) = t.ident() else { continue };
+        if !ATOMIC_OPS.contains(&op) {
+            continue;
+        }
+        // Shape: `<field> . <op> ( ... )` — field is the ident before the
+        // dot; the receiver may be a path chain (`self.inner.reads`), in
+        // which case the last segment is the field.
+        if i < 2 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let Some(field) = toks[i - 2].ident() else {
+            continue;
+        };
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Find an Ordering ident among the arguments (to the matching
+        // close paren). A `.load(x)` with no ordering is not an atomic —
+        // this is the filter that keeps `Vec::swap` etc. out.
+        let mut depth = 0i32;
+        let mut ordering = None;
+        for n in &toks[i + 1..] {
+            if n.is_punct('(') {
+                depth += 1;
+            } else if n.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(id) = n.ident() {
+                if ORDERINGS.contains(&id) {
+                    ordering = Some(id.to_string());
+                }
+            }
+        }
+        if let Some(ordering) = ordering {
+            out.push(AtomicSite {
+                file: ctx.rel.to_string_lossy().replace('\\', "/"),
+                field: field.to_string(),
+                ordering,
+                op: op.to_string(),
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    out
+}
+
+/// Diff observed sites against the expectations file; emit violations.
+pub fn diff(
+    observed: &[AtomicSite],
+    expectations: &str,
+    expect_path: &Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let expected: BTreeSet<(String, String, String)> = expectations
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some((
+                it.next()?.to_string(),
+                it.next()?.to_string(),
+                it.next()?.to_string(),
+            ))
+        })
+        .collect();
+
+    let observed_keys: BTreeSet<_> = observed.iter().map(AtomicSite::key).collect();
+
+    // Fields touched with more than one distinct ordering (keyed per file;
+    // the same counter is never shared across modules here).
+    let mut orderings_by_field: std::collections::BTreeMap<(String, String), BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for s in observed {
+        orderings_by_field
+            .entry((s.file.clone(), s.field.clone()))
+            .or_default()
+            .insert(s.ordering.clone());
+    }
+
+    for s in observed {
+        if expected.contains(&s.key()) {
+            continue;
+        }
+        let mixed = orderings_by_field[&(s.file.clone(), s.field.clone())].len() > 1;
+        let flavor = if s.ordering == "SeqCst" {
+            "`SeqCst` ordering — the workspace convention is Relaxed counters/flags; \
+             justify the fence or relax it"
+        } else if mixed {
+            "mixed orderings on the same atomic field — pick one, or document why the \
+             asymmetry is sound"
+        } else {
+            "undocumented atomic access"
+        };
+        out.push(Diagnostic {
+            rule: ATOMICS_AUDIT,
+            file: s.file.clone().into(),
+            line: s.line,
+            col: s.col,
+            message: format!(
+                "{flavor}: `{}.{}(.., {})` is not in {}; if intentional, document it \
+                 there (or run `cargo xtask analyze --bless-atomics` and review the diff)",
+                s.field,
+                s.op,
+                s.ordering,
+                expect_path.display()
+            ),
+            snippet: None,
+        });
+    }
+
+    for (file, field, ordering) in expected.difference(&observed_keys) {
+        out.push(Diagnostic {
+            rule: ATOMICS_AUDIT,
+            file: expect_path.to_path_buf(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "stale expectations entry `{file} {field} {ordering}`: no such atomic \
+                 access exists anymore — remove the line (or `--bless-atomics`)"
+            ),
+            snippet: None,
+        });
+    }
+}
+
+/// Render the expectations file for `--bless-atomics`.
+pub fn render_expectations(observed: &[AtomicSite]) -> String {
+    let mut keys: Vec<_> = observed.iter().map(AtomicSite::key).collect();
+    keys.sort();
+    keys.dedup();
+    let mut s = String::from(
+        "# Atomic-access expectations (INV05 atomics-audit).\n\
+         # One line per (file, field, ordering) triple observed in the workspace.\n\
+         # Regenerate with `cargo xtask analyze --bless-atomics`; review every diff —\n\
+         # a new ordering here is a memory-model decision, not a formality.\n\
+         # Convention: Relaxed statistics counters and activation flags only;\n\
+         # cross-thread hand-off goes through mutexes and thread::join.\n",
+    );
+    for (file, field, ordering) in keys {
+        let _ = writeln!(s, "{file} {field} {ordering}");
+    }
+    s
+}

@@ -1,0 +1,85 @@
+//! INV03 `unsafe-hygiene` — `unsafe` is confined to `emsim::kernels`, and
+//! every `unsafe` block or function is immediately preceded by a
+//! `// SAFETY:` comment (a `/// # Safety` doc section also counts for
+//! `unsafe fn` declarations).
+//!
+//! "Immediately preceded" skips attribute lines (`#[target_feature(...)]`,
+//! `#[cfg(...)]`) and blank lines, so the justification can sit above the
+//! attribute stack where rustfmt keeps it.
+
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, UNSAFE_HYGIENE};
+use crate::rules::is_kernels_module;
+
+/// Run the rule on one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let confined = is_kernels_module(&ctx.rel);
+    for (i, t) in ctx.lexed.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !confined {
+            out.push(Diagnostic {
+                rule: UNSAFE_HYGIENE,
+                file: ctx.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` outside `emsim::kernels`; the kernels module is the \
+                          only sanctioned unsafe surface (AVX2 intrinsics behind runtime \
+                          CPU checks) — move the code there or find a safe formulation"
+                    .into(),
+                snippet: ctx.snippet(t.line),
+            });
+            continue;
+        }
+        if !has_safety_comment(ctx, i, t.line) {
+            out.push(Diagnostic {
+                rule: UNSAFE_HYGIENE,
+                file: ctx.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` comment; \
+                          state the preconditions (CPU feature, alignment, length) the \
+                          call site upholds"
+                    .into(),
+                snippet: ctx.snippet(t.line),
+            });
+        }
+    }
+}
+
+/// Is there a `SAFETY:` / `# Safety` comment on the unsafe token's own
+/// line or directly above it (skipping blank and attribute-only lines)?
+fn has_safety_comment(ctx: &FileCtx, tok_index: usize, line: u32) -> bool {
+    // The `unsafe` in `Backend::Avx2 => unsafe { ... }` often shares its
+    // line with a trailing comment.
+    if comment_is_safety(ctx, line) {
+        return true;
+    }
+    let _ = tok_index;
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let src = ctx.lines.get(l as usize - 1).map_or("", |s| s.trim());
+        if src.is_empty() || src.starts_with("#[") || src.starts_with("#![") {
+            l -= 1;
+            continue;
+        }
+        if comment_is_safety(ctx, l) {
+            return true;
+        }
+        // Doc comments may span several lines (`/// # Safety` two lines up
+        // from the fn); keep walking while the line is still a comment.
+        if src.starts_with("//") {
+            l -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn comment_is_safety(ctx: &FileCtx, line: u32) -> bool {
+    ctx.lexed
+        .comment_on(line)
+        .is_some_and(|c| c.contains("SAFETY:") || c.trim_start_matches('/').trim() == "# Safety")
+}

@@ -1,0 +1,14 @@
+//! INV01 fixture: unmetered storage access outside emsim.
+
+pub fn sum_blocks(arr: &emsim::BlockArray<u64>) -> u64 {
+    // Line 5: the violation — `.raw()` bypasses the I/O meter.
+    arr.raw().iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use raw() freely — this must NOT be flagged.
+    pub fn peek(arr: &emsim::BlockArray<u64>) -> usize {
+        arr.raw().len()
+    }
+}

@@ -1,0 +1,6 @@
+//! INV02 fixture: direct selection-kernel call outside the chokepoint.
+
+pub fn pick(model: &emsim::CostModel, items: &[(u64, u64)], k: usize) -> Vec<(u64, u64)> {
+    // Line 5: the violation — selection must go through `select_top_k`.
+    emsim::select::top_k_by_weight(model, items, k)
+}

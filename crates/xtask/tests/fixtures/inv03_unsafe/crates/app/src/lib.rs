@@ -1,0 +1,6 @@
+//! INV03 fixture: `unsafe` outside the kernels module.
+
+pub fn reinterpret(x: &u64) -> u64 {
+    // Line 5: the violation — unsafe is confined to emsim::kernels.
+    unsafe { *std::ptr::from_ref(x) }
+}

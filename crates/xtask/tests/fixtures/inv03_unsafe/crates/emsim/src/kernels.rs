@@ -1,0 +1,14 @@
+//! INV03 fixture: an unsafe site inside kernels *without* a SAFETY comment.
+
+/// Documented-safe wrapper with an undocumented unsafe block.
+pub fn first(keys: &[u64]) -> u64 {
+    // Line 6: the violation — the safety obligation is not written down.
+    unsafe { *keys.as_ptr() }
+}
+
+/// This one is fine: the obligation is written down.
+pub fn second(keys: &[u64]) -> u64 {
+    // SAFETY: `keys` is non-empty by the caller's contract, so the first
+    // element is in bounds.
+    unsafe { *keys.as_ptr().add(1) }
+}

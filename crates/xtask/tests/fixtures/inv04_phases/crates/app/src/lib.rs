@@ -1,0 +1,9 @@
+//! INV04 fixture: span labels outside the registered taxonomy.
+
+pub fn run(m: &emsim::CostModel) {
+    // Line 5: the violation — "warmup" is not a registered phase label.
+    let _g = m.span("warmup");
+    // Line 8: also a violation — registered label, but a raw literal
+    // outside emsim (must use the `phase::` const).
+    let _h = m.span("probe");
+}

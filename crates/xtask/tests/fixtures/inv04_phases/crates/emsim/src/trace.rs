@@ -1,0 +1,9 @@
+//! INV04 fixture: a miniature phase registry.
+
+/// Registered phase labels.
+pub mod phase {
+    /// Structure construction.
+    pub const BUILD: &str = "build";
+    /// Candidate probing.
+    pub const PROBE: &str = "probe";
+}

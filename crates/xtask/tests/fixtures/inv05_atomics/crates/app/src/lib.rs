@@ -1,0 +1,17 @@
+//! INV05 fixture: an atomic access not in the expectations file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter whose ordering nobody reviewed.
+pub struct Stats {
+    /// Event tally.
+    pub events: AtomicU64,
+}
+
+impl Stats {
+    /// Record one event.
+    pub fn bump(&self) {
+        // Line 15: the violation — SeqCst, and not in atomics.expect.
+        self.events.fetch_add(1, Ordering::SeqCst);
+    }
+}

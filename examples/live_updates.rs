@@ -14,7 +14,7 @@ fn main() {
     let mut index = DynTopKStabbing::build(&model, Vec::new(), 99);
     let mut live: Vec<Interval> = Vec::new();
     let mut next_bid: u64 = 1;
-    let mut rng_state: u64 = 0xDEC0DE;
+    let mut rng_state: u64 = 0xDE_C0DE;
     let mut rnd = move || {
         rng_state ^= rng_state << 13;
         rng_state ^= rng_state >> 7;

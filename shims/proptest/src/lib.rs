@@ -8,9 +8,6 @@
 //! — a failure reports the case number and seed instead of a minimal
 //! counterexample, which is enough to reproduce it.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::ops::Range;
 
 use rand::rngs::StdRng;
@@ -199,10 +196,18 @@ where
         name_hash ^= b as u64;
         name_hash = name_hash.wrapping_mul(0x1000_0000_01b3);
     }
+    // Under Miri every case runs ~two orders of magnitude slower, so the
+    // CI Miri lane caps the case count: it checks pointer/UB discipline,
+    // not distributional coverage (the native run keeps the full count).
+    let cases = if cfg!(miri) {
+        config.cases.min(4)
+    } else {
+        config.cases
+    };
     let mut passed: u32 = 0;
     let mut attempts: u64 = 0;
-    let max_attempts = config.cases as u64 * 10 + 100;
-    while passed < config.cases {
+    let max_attempts = cases as u64 * 10 + 100;
+    while passed < cases {
         let seed = name_hash ^ (attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         attempts += 1;
         let mut rng = StdRng::seed_from_u64(seed);

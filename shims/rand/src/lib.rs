@@ -4,12 +4,9 @@
 //! crate provides the (small) subset of the `rand 0.8` API the repo uses:
 //! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
 //! methods `gen`, `gen_bool` and `gen_range` over integer and float
-//! ranges. The generator is xoshiro256++ seeded through SplitMix64, so
+//! ranges. The generator is xoshiro256++ seeded through `SplitMix64`, so
 //! streams are deterministic per seed (they are *not* bit-identical to
 //! upstream `rand`'s `StdRng`, which the workspace never relies on).
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 
@@ -18,7 +15,7 @@ pub trait SeedableRng: Sized {
     /// Build from a full seed (32 bytes, like upstream `StdRng`).
     fn from_seed(seed: [u8; 32]) -> Self;
 
-    /// Build from a `u64`, expanded with SplitMix64 (deterministic).
+    /// Build from a `u64`, expanded with `SplitMix64` (deterministic).
     fn seed_from_u64(state: u64) -> Self {
         let mut s = state;
         let mut seed = [0u8; 32];

@@ -39,8 +39,6 @@
 //! assert!(out.windows(2).all(|w| w[0].weight > w[1].weight));
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub use dominance;
 pub use emsim as em;
 pub use enclosure;
