@@ -110,6 +110,8 @@ fn main() {
 
     if json_path != "-" {
         let json = render_json(scale, threads, total_elapsed_ms, &outcomes);
+        // allow_invariant(device-hygiene): benchmark result export, not
+        // block storage — nothing here survives into a recovered store.
         match std::fs::write(&json_path, json) {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => {

@@ -188,6 +188,8 @@ fn main() {
             );
         }
         let _ = writeln!(out, "  ],\n  \"cores\": {cores}\n}}");
+        // allow_invariant(device-hygiene): benchmark result export, not
+        // block storage — nothing here survives into a recovered store.
         std::fs::write(&path, out).expect("write --json output");
         println!("wrote {path}");
     }

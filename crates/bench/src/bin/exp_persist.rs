@@ -1,0 +1,8 @@
+//! Experiment binary: E23, crash-recovery grid + metered-vs-physical
+//! device validation.
+fn main() {
+    let trace = bench::tracectl::TraceGuard::arm_from_cli();
+    let scale = bench::Scale::from_env(bench::Scale::Paper);
+    bench::experiments::persist::exp_persist(scale).print();
+    trace.finish();
+}

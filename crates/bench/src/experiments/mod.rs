@@ -1,10 +1,11 @@
-//! The experiments E1–E22 (see DESIGN.md §4 for the index).
+//! The experiments E1–E23 (see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod baseline;
 pub mod batch;
 pub mod faults;
 pub mod kernels;
+pub mod persist;
 pub mod problems;
 pub mod reductions;
 pub mod sampling;

@@ -40,7 +40,7 @@ pub struct Experiment {
     pub run: fn(Scale) -> Table,
 }
 
-/// The full registry, in the E1–E22 order of DESIGN.md §4.
+/// The full registry, in the E1–E23 order of DESIGN.md §4.
 pub fn all_experiments() -> &'static [Experiment] {
     &[
         Experiment { name: "lemma1", run: experiments::sampling::exp_lemma1 },
@@ -65,6 +65,7 @@ pub fn all_experiments() -> &'static [Experiment] {
         Experiment { name: "batch", run: experiments::batch::exp_batch },
         Experiment { name: "trace", run: experiments::trace::exp_trace },
         Experiment { name: "kernels", run: experiments::kernels::exp_kernels },
+        Experiment { name: "persist", run: experiments::persist::exp_persist },
     ]
 }
 
@@ -305,10 +306,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_uniquely_named() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 22, "duplicate experiment names");
+        assert_eq!(names.len(), 23, "duplicate experiment names");
     }
 }

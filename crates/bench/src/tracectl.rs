@@ -60,6 +60,8 @@ impl TraceGuard {
     pub fn finish(self) {
         if let Some((sink, path)) = self.sink {
             clear_global_sink();
+            // allow_invariant(device-hygiene): Chrome-trace export, not
+            // block storage — a diagnostics artifact for chrome://tracing.
             match std::fs::write(&path, sink.to_json()) {
                 Ok(()) => eprintln!("wrote Chrome trace ({} spans) to {path}", sink.len()),
                 Err(e) => {

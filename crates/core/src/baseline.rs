@@ -395,7 +395,7 @@ where
                     .iter()
                     .map(|c| {
                         if c.is_empty() {
-                            Err(e)
+                            Err(e.clone())
                         } else {
                             Ok(TopKAnswer::Degraded {
                                 items: select_top_k(&self.model,

@@ -33,6 +33,25 @@ impl Element for ToyElem {
     }
 }
 
+/// 16-byte `(x, w)` little-endian encoding, so toy datasets can live on a
+/// persistent device via [`BlockArray::new_named`] — the element type E23's
+/// crash-recovery torture persists and recovers.
+impl emsim::Persist for ToyElem {
+    const SIZE: usize = 16;
+    fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.x.to_le_bytes());
+        out.extend_from_slice(&self.w.to_le_bytes());
+    }
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        let x = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let w = u64::from_le_bytes(bytes[8..].try_into().ok()?);
+        Some(ToyElem { x, w })
+    }
+}
+
 /// The trivial predicate: every element matches.
 #[derive(Clone, Copy, Debug)]
 pub struct AllQuery;

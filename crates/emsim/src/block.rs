@@ -7,17 +7,128 @@
 //! hits), matching the model of §1.1.
 
 use crate::cost::CostModel;
+use crate::device::{self, BlockId};
 use crate::error::EmError;
 use crate::fault::{self, Retrier};
 
-/// The checksum stored alongside block `block` of array `array_id` when it
+/// The checksum stored alongside block `block` of array `seed_id` when it
 /// holds `items` items. The sentinel is a pure function of the block's
 /// address (the payload itself lives in a native `Vec`, which the simulator
 /// never physically scrambles); an injected corruption XORs a nonzero mask
 /// into the value read back, so verification fails exactly on the blocks
-/// the [`crate::FaultPlan`] corrupted.
-fn block_checksum(array_id: u64, block: u64, items: u64) -> u64 {
-    fault::mix(fault::mix(array_id ^ 0xC0DE_C0DE) ^ fault::mix(block) ^ items)
+/// the [`crate::FaultPlan`] corrupted. `seed_id` is the array id for
+/// anonymous arrays and the stable name hash for named ones, so a named
+/// array's sentinels survive reopening under a fresh array id.
+fn block_checksum(seed_id: u64, block: u64, items: u64) -> u64 {
+    fault::mix(fault::mix(seed_id ^ 0xC0DE_C0DE) ^ fault::mix(block) ^ items)
+}
+
+/// Magic of a mirrored block-header image on the device (`"EMB1"`).
+const HEADER_MAGIC: u32 = 0x454D_4231;
+/// Header-only image: the 40-byte header with no payload (anonymous
+/// arrays and B-tree nodes, whose data lives in native memory).
+pub(crate) const KIND_HEADER: u32 = 0;
+/// Header + payload image: named persistent arrays, whose items are
+/// serialized after the header via [`Persist`].
+const KIND_PAYLOAD: u32 = 1;
+/// Bytes in the fixed header.
+const HEADER_LEN: usize = 40;
+
+pub(crate) fn encode_header(
+    kind: u32,
+    seed_id: u64,
+    block: u64,
+    items: u32,
+    per_block: u32,
+    checksum: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&HEADER_MAGIC.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&seed_id.to_le_bytes());
+    out.extend_from_slice(&block.to_le_bytes());
+    out.extend_from_slice(&items.to_le_bytes());
+    out.extend_from_slice(&per_block.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// `(kind, seed_id, block, items, per_block, checksum)` of a header image,
+/// or `None` when the bytes are not a valid header.
+fn decode_header(bytes: &[u8]) -> Option<(u32, u64, u64, u32, u32, u64)> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    if u32_at(0) != HEADER_MAGIC {
+        return None;
+    }
+    Some((u32_at(4), u64_at(8), u64_at(16), u32_at(24), u32_at(28), u64_at(32)))
+}
+
+/// A fixed-size, byte-oriented serialization contract for items that can
+/// live on a persistent device ([`BlockArray::new_named`] /
+/// [`BlockArray::open_named`]). Fixed size keeps block layout trivially
+/// recoverable: `items × SIZE` bytes after the header, no framing.
+pub trait Persist: Sized {
+    /// Serialized size in bytes (every value of the type, exactly).
+    const SIZE: usize;
+    /// Append exactly [`Persist::SIZE`] bytes to `out`.
+    fn to_bytes(&self, out: &mut Vec<u8>);
+    /// Decode from exactly [`Persist::SIZE`] bytes; `None` if the bytes
+    /// are not a valid encoding.
+    fn from_bytes(bytes: &[u8]) -> Option<Self>;
+}
+
+impl Persist for u64 {
+    const SIZE: usize = 8;
+    fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl Persist for i64 {
+    const SIZE: usize = 8;
+    fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Some(i64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl Persist for u32 {
+    const SIZE: usize = 4;
+    fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    fn to_bytes(&self, out: &mut Vec<u8>) {
+        self.0.to_bytes(out);
+        self.1.to_bytes(out);
+    }
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        Some((A::from_bytes(&bytes[..A::SIZE])?, B::from_bytes(&bytes[A::SIZE..])?))
+    }
+}
+
+/// The stable device identity of a named array: a pure function of the
+/// name, so reopening finds the same blocks across processes.
+fn name_id(name: &str) -> u64 {
+    device::crc64(name.as_bytes())
 }
 
 /// A typed array stored in blocks of the simulated disk.
@@ -39,17 +150,38 @@ pub struct BlockArray<T> {
 impl<T> BlockArray<T> {
     /// Store `data` on disk, charging the writes needed to lay it out.
     pub fn new(model: &CostModel, data: Vec<T>) -> Self {
+        let array_id = model.new_array_id();
+        BlockArray::with_seed(model, data, array_id, array_id)
+    }
+
+    /// The shared layout path: charge the writes, compute sentinel
+    /// checksums under `seed_id`, and mirror each block's header image to
+    /// the device (best-effort and unmetered — the mirror is a shadow of
+    /// the logical write, verified by the `try_*` read path, never a cost).
+    fn with_seed(model: &CostModel, data: Vec<T>, array_id: u64, seed_id: u64) -> Self {
         let per_block = model.config().items_per_block::<T>();
         let blocks = data.len().div_ceil(per_block);
         model.charge_writes(blocks as u64);
-        let array_id = model.new_array_id();
-        let checksums = (0..blocks as u64)
+        let checksums: Vec<u64> = (0..blocks as u64)
             .map(|b| {
                 let lo = b as usize * per_block;
                 let items = (data.len() - lo).min(per_block) as u64;
-                block_checksum(array_id, b, items)
+                block_checksum(seed_id, b, items)
             })
             .collect();
+        for b in 0..blocks as u64 {
+            let lo = b as usize * per_block;
+            let items = (data.len() - lo).min(per_block) as u32;
+            let header = encode_header(
+                KIND_HEADER,
+                seed_id,
+                b,
+                items,
+                per_block as u32,
+                checksums[b as usize],
+            );
+            model.device_write(array_id, b, &header);
+        }
         BlockArray {
             data,
             per_block,
@@ -178,7 +310,7 @@ impl<T> BlockArray<T> {
     /// (each attempt charges one read I/O on a pool miss), then verify the
     /// checksum.
     fn try_read_block(&self, block: u64, retrier: &Retrier) -> Result<(), EmError> {
-        retrier.run(|attempt| self.model.try_touch(self.array_id, block, attempt))?;
+        retrier.run(|attempt| self.model.try_fetch(self.array_id, block, attempt))?;
         self.verify(block)
     }
 
@@ -257,6 +389,118 @@ impl<T> BlockArray<T> {
             }
         }
         Ok(lo)
+    }
+}
+
+impl<T: Persist> BlockArray<T> {
+    /// Store `data` *durably* under `name`: in addition to the normal
+    /// logical layout (same charges as [`BlockArray::new`]), every block is
+    /// written to the meter's device with its full payload under the
+    /// reserved [`device::NAMED_NS`] namespace, keyed by a stable hash of
+    /// `name` — so [`BlockArray::open_named`] can rebuild the array in a
+    /// later process. Durable write failures surface as errors; the write
+    /// becomes crash-proof only after the caller syncs the device.
+    pub fn new_named(model: &CostModel, name: &str, data: Vec<T>) -> Result<Self, EmError> {
+        let seed = name_id(name);
+        let array_id = model.new_array_id();
+        let arr = BlockArray::with_seed(model, data, array_id, seed);
+        let dev = model.device();
+        for b in 0..arr.blocks() {
+            let lo = b as usize * arr.per_block;
+            let hi = (lo + arr.per_block).min(arr.data.len());
+            let items = (hi - lo) as u32;
+            let mut image = encode_header(
+                KIND_PAYLOAD,
+                seed,
+                b,
+                items,
+                arr.per_block as u32,
+                arr.checksums[b as usize],
+            );
+            for item in &arr.data[lo..hi] {
+                item.to_bytes(&mut image);
+            }
+            dev.write(BlockId { ns: device::NAMED_NS, array: seed, block: b }, &image)?;
+        }
+        Ok(arr)
+    }
+
+    /// Rebuild the array stored by [`BlockArray::new_named`] from the
+    /// meter's device, charging one read per block loaded (a sequential
+    /// recovery scan). Every block's header is validated (magic, kind,
+    /// name identity, block index, layout) and its sentinel checksum
+    /// recomputed; any mismatch, torn payload or undecodable item surfaces
+    /// as [`EmError::Corrupt`] on the named identity — feeding the same
+    /// retry/degrade ladder as runtime corruption.
+    pub fn open_named(model: &CostModel, name: &str) -> Result<Self, EmError> {
+        let seed = name_id(name);
+        let dev = model.device();
+        let blocks = dev.blocks_of(device::NAMED_NS, seed);
+        model.charge_reads(blocks.len() as u64);
+        let corrupt = |b: u64| EmError::Corrupt { array_id: seed, block: b };
+        let mut per_block: Option<usize> = None;
+        let mut data: Vec<T> = Vec::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            // Blocks must be exactly 0..n — a gap means a lost block.
+            if b != i as u64 {
+                return Err(corrupt(i as u64));
+            }
+            let image = dev
+                .read(BlockId { ns: device::NAMED_NS, array: seed, block: b })?
+                .ok_or_else(|| corrupt(b))?;
+            let (kind, seed_read, block_read, items, per, checksum) =
+                decode_header(&image).ok_or_else(|| corrupt(b))?;
+            if kind != KIND_PAYLOAD || seed_read != seed || block_read != b {
+                return Err(corrupt(b));
+            }
+            let per = per as usize;
+            if *per_block.get_or_insert(per) != per {
+                return Err(corrupt(b));
+            }
+            // Every block but the last must be full; checked via the
+            // recomputed sentinel below (items feeds the checksum) and the
+            // payload length here.
+            let items = items as usize;
+            if items > per || (i + 1 < blocks.len() && items != per) {
+                return Err(corrupt(b));
+            }
+            if block_checksum(seed, b, items as u64) != checksum {
+                return Err(corrupt(b));
+            }
+            let payload = &image[HEADER_LEN..];
+            if payload.len() != items * T::SIZE {
+                return Err(corrupt(b));
+            }
+            for chunk in payload.chunks_exact(T::SIZE) {
+                data.push(T::from_bytes(chunk).ok_or_else(|| corrupt(b))?);
+            }
+        }
+        let per_block = per_block.unwrap_or_else(|| model.config().items_per_block::<T>());
+        let array_id = model.new_array_id();
+        let checksums = (0..blocks.len() as u64)
+            .map(|b| {
+                let lo = b as usize * per_block;
+                let items = (data.len() - lo).min(per_block) as u64;
+                block_checksum(seed, b, items)
+            })
+            .collect();
+        let arr = BlockArray {
+            data,
+            per_block,
+            array_id,
+            model: model.clone(),
+            checksums,
+        };
+        // Re-mirror header images under this meter's namespace so the
+        // `try_*` read path verifies the reopened array like any other.
+        for (b, sum) in arr.checksums.iter().enumerate() {
+            let lo = b * per_block;
+            let items = (arr.data.len() - lo).min(per_block) as u32;
+            let header =
+                encode_header(KIND_HEADER, seed, b as u64, items, per_block as u32, *sum);
+            model.device_write(array_id, b as u64, &header);
+        }
+        Ok(arr)
     }
 }
 
@@ -439,5 +683,84 @@ mod tests {
         for b in 0..a.blocks() {
             assert_eq!(a.verify(b), Ok(()));
         }
+    }
+
+    use crate::device::{BlockDevice, FileDevice, MemDevice};
+    use crate::PoolPolicy;
+    use crate::sync::Arc;
+
+    fn meter_on(dev: Arc<dyn BlockDevice>) -> CostModel {
+        CostModel::with_device(EmConfig::new(64), FaultPlan::none(), PoolPolicy::Lru, dev)
+    }
+
+    #[test]
+    fn named_array_roundtrips_on_one_device() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new());
+        let m = meter_on(dev.clone());
+        let original: Vec<u64> = (0..150).map(|i| i * 7).collect();
+        let a = BlockArray::new_named(&m, "idx", original.clone()).expect("persist");
+        assert_eq!(a.raw(), &original[..]);
+        dev.sync().expect("sync");
+        // A different meter on the same device finds it by name.
+        let m2 = meter_on(dev);
+        let b: BlockArray<u64> = BlockArray::open_named(&m2, "idx").expect("reopen");
+        assert_eq!(b.raw(), &original[..]);
+        assert_eq!(b.blocks(), a.blocks());
+        assert_eq!(
+            m2.report().reads,
+            a.blocks(),
+            "recovery charges one sequential read per block"
+        );
+        for blk in 0..b.blocks() {
+            assert_eq!(b.verify(blk), Ok(()), "sentinels survive the name round-trip");
+        }
+    }
+
+    #[test]
+    fn named_array_survives_file_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "emsim-block-named-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data: Vec<(u64, u64)> = (0..97).map(|i| (i, i * i)).collect();
+        {
+            let dev: Arc<dyn BlockDevice> = Arc::new(FileDevice::open(&dir).expect("open"));
+            let m = meter_on(dev.clone());
+            BlockArray::new_named(&m, "pairs", data.clone()).expect("persist");
+            dev.sync().expect("sync");
+        }
+        let dev: Arc<dyn BlockDevice> = Arc::new(FileDevice::open(&dir).expect("reopen"));
+        let m = meter_on(dev);
+        let b: BlockArray<(u64, u64)> = BlockArray::open_named(&m, "pairs").expect("load");
+        assert_eq!(b.raw(), &data[..]);
+        // Fallible reads verify clean against the reopened mirror.
+        let r = Retrier::default();
+        assert_eq!(b.try_get(42, &r).copied(), Ok((42, 42 * 42)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_name_opens_empty_and_missing_blocks_are_corrupt() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new());
+        let m = meter_on(dev.clone());
+        let e: BlockArray<u64> = BlockArray::open_named(&m, "nope").expect("empty");
+        assert!(e.is_empty());
+        // Drop a block out of the middle by writing a two-block array and
+        // corrupting the device's view: simulate by persisting under a name
+        // and opening with a different name that hashes no blocks — then
+        // check a direct gap via a hand-written hole.
+        let data: Vec<u64> = (0..100).collect();
+        BlockArray::new_named(&m, "holey", data).expect("persist");
+        // Forge a gap: a foreign block index far past the end under the
+        // same name identity.
+        let seed = super::name_id("holey");
+        dev.write(
+            BlockId { ns: device::NAMED_NS, array: seed, block: 9 },
+            b"garbage-not-a-header-image-padding-40bytes!!",
+        )
+        .expect("write");
+        let err = BlockArray::<u64>::open_named(&m, "holey").expect_err("gap detected");
+        assert!(matches!(err, EmError::Corrupt { .. }));
     }
 }

@@ -75,7 +75,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             children: Vec::new(),
         }];
         let array_id = model.new_array_id();
-        BTree {
+        let tree = BTree {
             nodes,
             root: 0,
             len: 0,
@@ -84,7 +84,9 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             model: model.clone(),
             free: Vec::new(),
             checksums: vec![node_checksum(array_id, 0)],
-        }
+        };
+        tree.mirror_node(0);
+        tree
     }
 
     /// Bulk-build from key-sorted `(K, V)` pairs in `O(n/B)` write I/Os.
@@ -218,7 +220,25 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         } else {
             self.checksums.push(sum);
         }
+        self.mirror_node(id);
         id
+    }
+
+    /// Mirror node `id`'s header image to the device (best-effort and
+    /// unmetered, like [`crate::BlockArray`]'s block headers). The
+    /// sentinel is a pure function of the node's address, so in-place key
+    /// mutation never invalidates the mirror — one write per allocation
+    /// suffices.
+    fn mirror_node(&self, id: usize) {
+        let image = crate::block::encode_header(
+            crate::block::KIND_HEADER,
+            self.array_id,
+            id as u64,
+            0,
+            self.fanout as u32,
+            self.checksums[id],
+        );
+        self.model.device_write(self.array_id, id as u64, &image);
     }
 
     fn touch(&self, node: usize) {
@@ -572,7 +592,7 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     /// Read one node fallibly: retry transient faults under `retrier`, then
     /// verify the node checksum.
     fn try_touch_node(&self, node: usize, retrier: &Retrier) -> Result<(), EmError> {
-        retrier.run(|attempt| self.model.try_touch(self.array_id, node as u64, attempt))?;
+        retrier.run(|attempt| self.model.try_fetch(self.array_id, node as u64, attempt))?;
         self.verify(node as u64)
     }
 

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use crate::sync::{Arc, Mutex, MutexGuard};
 
+use crate::device::{self, BlockDevice, BlockId, DeviceClass};
 use crate::error::EmError;
 use crate::fault::{self, FaultPlan};
 use crate::pool::LruPool;
@@ -229,6 +230,12 @@ fn tally_writes(n: u64) {
     THREAD_WRITES.with(|c| c.set(c.get() + n));
 }
 
+/// Allocator of per-meter device namespaces ([`BlockId::ns`]): deliberately
+/// a plain `std` atomic even under loom (like `OnceLock` in `sync.rs`) —
+/// it is an id fountain with no interleaving to explore, and making it a
+/// loom atomic would burn model state on every meter construction.
+static NEXT_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 #[derive(Debug)]
 struct Inner {
     config: EmConfig,
@@ -237,6 +244,18 @@ struct Inner {
     writes: AtomicU64,
     pool: PoolImpl,
     next_array_id: AtomicU64,
+    /// The physical storage under this meter (see [`crate::device`]). The
+    /// meter itself never charges device traffic — metering stays purely
+    /// logical, which is what keeps golden baselines device-independent.
+    device: Arc<dyn BlockDevice>,
+    /// This meter's namespace on the (possibly shared) device: array ids
+    /// restart at 0 per meter, so the namespace is what keeps two meters'
+    /// arrays from colliding on one `FileDevice`.
+    ns: u64,
+    /// Fast path: `try_fetch` falls back to the pure-logical `try_touch`
+    /// unless the device wants read-back verification (file-backed class,
+    /// or armed device fault kinds).
+    device_checked: AtomicBool,
     /// Fast path: skip the trace mutex entirely unless tracing is on.
     tracing: AtomicBool,
     /// Per-array read counts, populated only while tracing is on.
@@ -349,11 +368,31 @@ impl CostModel {
         CostModel::with_faults_and_policy(config, fault::ambient_plan(), policy)
     }
 
-    /// The fully-general constructor: machine, fault plan, and pool policy.
-    /// The trace sink is inherited from the process ambient
-    /// ([`trace::ambient_sink`]): none unless a global sink was installed.
+    /// Machine, fault plan, and pool policy, with the device inherited from
+    /// the process ambient ([`device::ambient_device`]): a private
+    /// [`crate::MemDevice`] unless `EMSIM_DEVICE=file` selected the shared
+    /// file-backed store.
     pub fn with_faults_and_policy(config: EmConfig, plan: FaultPlan, policy: PoolPolicy) -> Self {
+        let dev = device::ambient_device()
+            .unwrap_or_else(|| Arc::new(device::MemDevice::with_plan(plan)));
+        CostModel::with_device(config, plan, policy, dev)
+    }
+
+    /// The fully-general constructor: machine, fault plan, pool policy and
+    /// an explicit [`BlockDevice`]. The plan is scope-filtered to the
+    /// device's class ([`FaultPlan::for_class`]), so a file-scoped plan is
+    /// inert on an in-memory meter and vice versa. The trace sink is
+    /// inherited from the process ambient ([`trace::ambient_sink`]): none
+    /// unless a global sink was installed.
+    pub fn with_device(
+        config: EmConfig,
+        plan: FaultPlan,
+        policy: PoolPolicy,
+        device: Arc<dyn BlockDevice>,
+    ) -> Self {
+        let plan = plan.for_class(device.class());
         let sink = trace::ambient_sink();
+        let device_checked = device.class() == DeviceClass::File || plan.has_device_faults();
         CostModel {
             inner: Arc::new(Inner {
                 config,
@@ -362,6 +401,9 @@ impl CostModel {
                 writes: AtomicU64::new(0),
                 pool: PoolImpl::new(policy, config.mem_blocks),
                 next_array_id: AtomicU64::new(0),
+                device,
+                ns: NEXT_NS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                device_checked: AtomicBool::new(device_checked),
                 tracing: AtomicBool::new(false),
                 trace: Mutex::new(None),
                 faults: AtomicU64::new(0),
@@ -384,10 +426,38 @@ impl CostModel {
     }
 
     /// Replace the fault plan (e.g. to arm faults mid-experiment or to
-    /// disarm the ambient plan with [`FaultPlan::none`]).
+    /// disarm the ambient plan with [`FaultPlan::none`]). The plan is
+    /// scope-filtered to this meter's device class, exactly as at
+    /// construction.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let plan = plan.for_class(self.inner.device.class());
         *lock_recover(&self.inner.fault) = plan;
         self.inner.faults_active.store(plan.is_active(), Relaxed);
+        self.inner.device_checked.store(
+            self.inner.device.class() == DeviceClass::File || plan.has_device_faults(),
+            Relaxed,
+        );
+    }
+
+    /// The physical device under this meter.
+    pub fn device(&self) -> Arc<dyn BlockDevice> {
+        self.inner.device.clone()
+    }
+
+    /// This meter's namespace on the device (the [`BlockId::ns`] of every
+    /// block its structures mirror).
+    pub fn ns(&self) -> u64 {
+        self.inner.ns
+    }
+
+    /// Mirror a block image to the device, best-effort: mirroring is an
+    /// unmetered shadow of the logical write (golden baselines must not
+    /// move), so failures surface later — through [`CostModel::try_fetch`]
+    /// read-back verification — rather than here. Durable persistence goes
+    /// through [`CostModel::device`] directly and handles errors.
+    pub(crate) fn device_write(&self, array_id: u64, block: u64, payload: &[u8]) {
+        let id = BlockId { ns: self.inner.ns, array: array_id, block };
+        let _ = self.inner.device.write(id, payload);
     }
 
     /// Record a fault detected *above* the read path (a checksum mismatch
@@ -537,12 +607,15 @@ impl CostModel {
     pub fn scoped(&self) -> ScopedMeter {
         // The child inherits this meter's fault plan (not the ambient
         // one), so a trial fanned out under an explicitly-armed meter
-        // sees the same fault universe — and its pool policy, so
-        // sharded-mode trials measure sharded-mode residency.
-        let child = CostModel::with_faults_and_policy(
+        // sees the same fault universe — its pool policy, so sharded-mode
+        // trials measure sharded-mode residency — and its *device*, so
+        // trials against a file-backed or counting store hit the same
+        // store (the child still gets a private namespace on it).
+        let child = CostModel::with_device(
             self.inner.config,
             self.fault_plan(),
             self.inner.policy,
+            self.inner.device.clone(),
         );
         // Likewise the trace sink: a fanned-out trial keeps attributing to
         // the parent's sink. (Rollup on drop absorbs raw counters without
@@ -635,6 +708,74 @@ impl CostModel {
                 self.emit(TraceEvent::Fault);
                 Err(e)
             }
+        }
+    }
+
+    /// [`CostModel::try_touch`] plus physical read-back: on a charged miss
+    /// the mirrored block image is fetched from the device and its CRC
+    /// verified, so torn writes and short reads injected *below* the meter
+    /// surface here as [`EmError`]s on the logical address.
+    ///
+    /// * On the default in-memory device with no device faults armed this
+    ///   is exactly [`CostModel::try_touch`] — same charges, same
+    ///   outcomes, zero meter drift (the golden-baseline invariant).
+    /// * Pool hits remain free and immune: resident blocks are in memory.
+    /// * On a charged miss, exactly one physical `read` is issued — the
+    ///   1:1 correspondence E23's simulator-validation table counts.
+    /// * A block the structure never mirrored reads back as absent, which
+    ///   verifies vacuously (header mirroring is best-effort).
+    pub fn try_fetch(&self, array_id: u64, block_idx: u64, attempt: u32) -> Result<(), EmError> {
+        if !self.inner.device_checked.load(Relaxed) {
+            return self.try_touch(array_id, block_idx, attempt);
+        }
+        let pooled = self.inner.config.mem_blocks != 0;
+        if pooled && self.inner.pool.probe(array_id, block_idx) {
+            self.emit(TraceEvent::PoolHit);
+            return Ok(());
+        }
+        let outcome = if self.inner.faults_active.load(Relaxed) {
+            self.fault_plan().read_outcome(array_id, block_idx, attempt)
+        } else {
+            Ok(())
+        };
+        // The disk attempt happened either way: charge the read.
+        self.inner.reads.fetch_add(1, Relaxed);
+        tally_reads(1);
+        self.emit(TraceEvent::Reads(1));
+        if attempt > 0 {
+            self.emit(TraceEvent::Retry);
+        }
+        let outcome = outcome.and_then(|()| self.device_verify(array_id, block_idx));
+        if pooled {
+            match outcome {
+                Ok(()) => self.inner.pool.admit(array_id, block_idx),
+                Err(_) => self.inner.pool.record_miss(array_id, block_idx),
+            }
+            self.emit(TraceEvent::PoolMiss);
+        }
+        match outcome {
+            Ok(()) => {
+                self.trace_read(array_id);
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.faults.fetch_add(1, Relaxed);
+                self.emit(TraceEvent::Fault);
+                Err(e)
+            }
+        }
+    }
+
+    /// One physical read of the mirrored image, with device failures mapped
+    /// onto the logical `(array_id, block)` address (the device reports its
+    /// own [`BlockId`] coordinates, which callers upstream don't know).
+    fn device_verify(&self, array_id: u64, block: u64) -> Result<(), EmError> {
+        let id = BlockId { ns: self.inner.ns, array: array_id, block };
+        match self.inner.device.read(id) {
+            Ok(_) => Ok(()),
+            Err(EmError::Transient { .. }) => Err(EmError::Transient { array_id, block }),
+            Err(EmError::Corrupt { .. }) => Err(EmError::Corrupt { array_id, block }),
+            Err(e) => Err(e),
         }
     }
 

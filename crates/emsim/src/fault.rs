@@ -41,6 +41,30 @@ fn unit(h: u64) -> f64 {
 const SALT_TRANSIENT: u64 = 0x7472_616E_7369; // "transi"
 const SALT_PERMANENT: u64 = 0x7065_726D; // "perm"
 const SALT_CORRUPT: u64 = 0x636F_7272; // "corr"
+const SALT_TORN: u64 = 0x746F_726E; // "torn"
+const SALT_SHORT: u64 = 0x7368_6F72; // "shor"
+
+/// Which device class an armed [`FaultPlan`] applies to.
+///
+/// `install_global_plan` used to assume one logical substrate; with real
+/// devices in the process a chaos plan armed for a [`crate::FileDevice`]
+/// torture run must not silently also fire on the in-memory meters that the
+/// golden baselines are recorded against. A plan scoped to a class is inert
+/// (both its logical rates and its device fault kinds) on meters and devices
+/// of any other class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultScope {
+    /// The plan applies everywhere (the historical behavior, and the
+    /// default).
+    #[default]
+    Any,
+    /// The plan applies only to meters/devices backed by the in-memory
+    /// simulator ([`crate::MemDevice`]).
+    Mem,
+    /// The plan applies only to meters/devices backed by the file store
+    /// ([`crate::FileDevice`]).
+    File,
+}
 
 /// A deterministic, seed-driven description of which block reads fail.
 ///
@@ -52,6 +76,24 @@ const SALT_CORRUPT: u64 = 0x636F_7272; // "corr"
 ///   probability (every attempt fails);
 /// * `corrupt` — each *block* silently corrupts with this probability (the
 ///   read "succeeds" but the checksum comparison fails, on every attempt).
+///
+/// Besides the logical rates, a plan can arm *physical* fault kinds that
+/// only a [`crate::BlockDevice`] interprets:
+///
+/// * `torn_write` — each device write independently persists only a prefix
+///   of the payload with this probability (a lying disk: the writer sees
+///   success; the tear surfaces later as [`EmError::Corrupt`] when the
+///   block's CRC fails);
+/// * `short_read` — each device read independently returns short with this
+///   probability (surfaced as a retryable [`EmError::Transient`]);
+/// * `crash_after` — `CrashPoint(n)`: the `n`-th physical write (0-based)
+///   is torn mid-sector and the device is poisoned — every subsequent
+///   operation fails with [`EmError::Io`], modeling the process image dying.
+///   Recovery is exercised by reopening the store with
+///   [`crate::FileDevice::open`].
+///
+/// `scope` restricts the whole plan (logical and physical kinds alike) to
+/// one device class; see [`FaultScope`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the fault universe; two plans with equal rates but different
@@ -63,6 +105,15 @@ pub struct FaultPlan {
     pub permanent: f64,
     /// Per-block silent-corruption probability.
     pub corrupt: f64,
+    /// Per-write torn-write (prefix-only persistence) probability.
+    pub torn_write: f64,
+    /// Per-read short-read probability.
+    pub short_read: f64,
+    /// Poison the device after this 0-based physical write index, tearing
+    /// that write mid-sector. `None` = never crash.
+    pub crash_after: Option<u64>,
+    /// Which device class the plan (all kinds) applies to.
+    pub scope: FaultScope,
 }
 
 impl FaultPlan {
@@ -74,6 +125,10 @@ impl FaultPlan {
             transient: 0.0,
             permanent: 0.0,
             corrupt: 0.0,
+            torn_write: 0.0,
+            short_read: 0.0,
+            crash_after: None,
+            scope: FaultScope::Any,
         }
     }
 
@@ -107,6 +162,33 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-write torn-write rate (device-level; see the type docs).
+    pub fn with_torn_write(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.torn_write = rate;
+        self
+    }
+
+    /// Set the per-read short-read rate (device-level; see the type docs).
+    pub fn with_short_read(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.short_read = rate;
+        self
+    }
+
+    /// Poison the device after its `n`-th physical write (0-based), tearing
+    /// that write — the `CrashPoint(n)` fault kind.
+    pub fn with_crash_point(mut self, n: u64) -> Self {
+        self.crash_after = Some(n);
+        self
+    }
+
+    /// Restrict the plan to one device class; see [`FaultScope`].
+    pub fn with_scope(mut self, scope: FaultScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
     /// A convenience mixed profile for chaos runs: transient at `rate`,
     /// permanent at `rate/4`, corruption at `rate/8`.
     pub fn chaos(seed: u64, rate: f64) -> Self {
@@ -116,9 +198,50 @@ impl FaultPlan {
             .with_corrupt(rate / 8.0)
     }
 
-    /// Whether any fault can ever fire.
+    /// Whether any *logical* fault (transient / bad-block / corruption) can
+    /// ever fire. Device-level kinds are reported by
+    /// [`FaultPlan::has_device_faults`].
     pub fn is_active(&self) -> bool {
         self.transient > 0.0 || self.permanent > 0.0 || self.corrupt > 0.0
+    }
+
+    /// Whether any device-level fault kind (torn write / short read /
+    /// crash point) is armed.
+    pub fn has_device_faults(&self) -> bool {
+        self.torn_write > 0.0 || self.short_read > 0.0 || self.crash_after.is_some()
+    }
+
+    /// Whether the plan's scope covers `class`.
+    pub fn applies_to(&self, class: crate::device::DeviceClass) -> bool {
+        match self.scope {
+            FaultScope::Any => true,
+            FaultScope::Mem => class == crate::device::DeviceClass::Mem,
+            FaultScope::File => class == crate::device::DeviceClass::File,
+        }
+    }
+
+    /// The plan as seen by a meter or device of class `class`: `self` when
+    /// the scope covers it, [`FaultPlan::none`] otherwise. This is the
+    /// choke point that keeps a file-scoped chaos plan from firing on the
+    /// in-memory golden-baseline meters in the same process.
+    pub fn for_class(&self, class: crate::device::DeviceClass) -> FaultPlan {
+        if self.applies_to(class) {
+            *self
+        } else {
+            FaultPlan::none()
+        }
+    }
+
+    /// Whether the `index`-th physical device write is torn (only a prefix
+    /// of the payload reaches the medium).
+    pub fn is_torn_write(&self, index: u64) -> bool {
+        self.torn_write > 0.0 && unit(self.hash(SALT_TORN, index, 0, 0)) < self.torn_write
+    }
+
+    /// Whether the `index`-th physical device read returns short (the
+    /// device-level analogue of a transient fault; callers retry).
+    pub fn is_short_read(&self, index: u64) -> bool {
+        self.short_read > 0.0 && unit(self.hash(SALT_SHORT, index, 0, 0)) < self.short_read
     }
 
     fn hash(&self, salt: u64, array_id: u64, block: u64, attempt: u64) -> u64 {
@@ -237,6 +360,10 @@ static GLOBAL_PLAN: Mutex<FaultPlan> = Mutex::new(FaultPlan {
     transient: 0.0,
     permanent: 0.0,
     corrupt: 0.0,
+    torn_write: 0.0,
+    short_read: 0.0,
+    crash_after: None,
+    scope: FaultScope::Any,
 });
 static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
 static ENV_PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
@@ -398,6 +525,26 @@ mod tests {
         });
         assert_eq!(out, Err(EmError::BadBlock { array_id: 0, block: 3 }));
         assert_eq!(calls, 1, "permanent faults fail fast");
+    }
+
+    #[test]
+    fn device_fault_kinds_are_deterministic_and_scoped() {
+        use crate::device::DeviceClass;
+        let p = FaultPlan::new(17)
+            .with_torn_write(0.3)
+            .with_short_read(0.3)
+            .with_crash_point(5);
+        assert!(p.has_device_faults());
+        assert!(!p.is_active(), "device kinds alone don't arm the logical path");
+        let torn: Vec<bool> = (0..500).map(|i| p.is_torn_write(i)).collect();
+        assert_eq!(torn, (0..500).map(|i| p.is_torn_write(i)).collect::<Vec<_>>());
+        assert!(torn.iter().any(|&t| t) && torn.iter().any(|&t| !t));
+        // Scoping: a file-only plan is inert for the Mem class.
+        let scoped = p.with_scope(FaultScope::File);
+        assert!(scoped.applies_to(DeviceClass::File));
+        assert!(!scoped.applies_to(DeviceClass::Mem));
+        assert_eq!(scoped.for_class(DeviceClass::Mem), FaultPlan::none());
+        assert_eq!(scoped.for_class(DeviceClass::File), scoped);
     }
 
     #[test]

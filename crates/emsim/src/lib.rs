@@ -27,6 +27,13 @@
 //!   bit-identical on every backend.
 //! * [`sort`] — external merge sort with run formation in memory `M` and
 //!   `M/B`-way merging.
+//! * [`device`] — the physical storage layer under the meter: a
+//!   [`BlockDevice`] trait with an in-memory simulator ([`MemDevice`],
+//!   default) and a crash-safe file-backed store ([`FileDevice`]:
+//!   append-only data file + checksummed, generation-stamped catalog
+//!   committed via write-temp/fsync/rename). Metering stays purely
+//!   logical — `EMSIM_DEVICE=mem|file` never moves a golden baseline —
+//!   and E23 validates the meter against counted physical I/Os.
 //! * [`fault`] / [`error`] — deterministic fault injection ([`FaultPlan`])
 //!   with typed failures ([`EmError`]) and bounded-retry recovery
 //!   ([`Retrier`]); the `try_*` accessors on [`BlockArray`] / [`BTree`]
@@ -46,6 +53,7 @@
 pub mod block;
 pub mod btree;
 pub mod cost;
+pub mod device;
 pub mod error;
 pub mod fault;
 pub mod kernels;
@@ -56,13 +64,19 @@ pub mod sort;
 pub(crate) mod sync;
 pub mod trace;
 
-pub use block::BlockArray;
+pub use block::{BlockArray, Persist};
 pub use btree::BTree;
 pub use cost::{
     credit_thread, thread_charged, CostModel, EmConfig, IoReport, PoolPolicy, ScopedMeter,
 };
+pub use device::{
+    BlockDevice, BlockId, CountingDevice, DeviceClass, DeviceCounts, FileDevice, MemDevice,
+    RecoveryReport,
+};
 pub use error::EmError;
-pub use fault::{ambient_plan, clear_global_plan, install_global_plan, FaultPlan, Retrier};
+pub use fault::{
+    ambient_plan, clear_global_plan, install_global_plan, FaultPlan, FaultScope, Retrier,
+};
 pub use kernels::{active_backend, with_backend, Backend, KernelKey, KeyType};
 pub use pool::LruPool;
 pub use sharded::ShardedPool;

@@ -22,6 +22,7 @@ pub const RULES: &[RuleId] = &[
     PHASE_TAXONOMY,
     ATOMICS_AUDIT,
     STALE_ALLOW,
+    DEVICE_HYGIENE,
 ];
 
 /// INV01: block storage may only be reached through metered accessors.
@@ -53,6 +54,11 @@ pub const ATOMICS_AUDIT: RuleId = RuleId {
 pub const STALE_ALLOW: RuleId = RuleId {
     id: "INV06",
     name: "stale-allow",
+};
+/// INV07: persistent-store I/O only via `emsim::device`, syncs documented.
+pub const DEVICE_HYGIENE: RuleId = RuleId {
+    id: "INV07",
+    name: "device-hygiene",
 };
 
 /// Look a rule up by ID or name (both are accepted on the CLI and in

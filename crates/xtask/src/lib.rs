@@ -15,6 +15,7 @@
 //! | INV04 | phase-taxonomy    | trace spans use registered phase labels  |
 //! | INV05 | atomics-audit     | atomic orderings match `atomics.expect`  |
 //! | INV06 | stale-allow       | every allowlist marker still suppresses something |
+//! | INV07 | device-hygiene    | persistent I/O only via `emsim::device`, syncs say `// DURABILITY:` |
 //!
 //! Deliberate exceptions are written in the source as
 //! `// allow_invariant(<rule>): <reason>` directly above the excused
@@ -73,6 +74,7 @@ pub fn analyze_contexts(root: &Path, ctxs: &[FileCtx], only: Option<RuleId>) -> 
         rules::chokepoint::check(c, &mut raw);
         rules::unsafe_hygiene::check(c, &mut raw);
         rules::phases::check(c, &registry, &mut raw);
+        rules::device::check(c, &mut raw);
         atomic_sites.extend(rules::atomics::collect(c));
     }
 

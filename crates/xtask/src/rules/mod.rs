@@ -4,6 +4,7 @@
 
 pub mod atomics;
 pub mod chokepoint;
+pub mod device;
 pub mod meter;
 pub mod phases;
 pub mod unsafe_hygiene;

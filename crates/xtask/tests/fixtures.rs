@@ -8,8 +8,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::diag::{
-    Diagnostic, ATOMICS_AUDIT, METER_SOUNDNESS, PHASE_TAXONOMY, SELECT_CHOKEPOINT, STALE_ALLOW,
-    UNSAFE_HYGIENE,
+    Diagnostic, ATOMICS_AUDIT, DEVICE_HYGIENE, METER_SOUNDNESS, PHASE_TAXONOMY, SELECT_CHOKEPOINT,
+    STALE_ALLOW, UNSAFE_HYGIENE,
 };
 use xtask::{analyze, Analysis};
 
@@ -184,6 +184,36 @@ fn inv06_flags_unknown_rule_empty_reason_and_stale_marker() {
     let stale = &a.diagnostics[2];
     assert_eq!(stale.line, 12);
     assert!(stale.message.contains("stale"), "{}", stale.message);
+}
+
+#[test]
+fn inv07_flags_direct_fs_and_undocumented_sync() {
+    let a = run("inv07_device");
+    assert_eq!(a.diagnostics.len(), 2, "{}", render(&a.diagnostics));
+
+    let direct_fs = &a.diagnostics[0];
+    assert_eq!(direct_fs.rule, DEVICE_HYGIENE);
+    assert_eq!(direct_fs.rule.id, "INV07");
+    assert_eq!(direct_fs.file, Path::new("crates/app/src/lib.rs"));
+    assert_eq!(direct_fs.line, 6);
+    assert!(direct_fs.message.contains("std::fs"), "{}", direct_fs.message);
+
+    let sync = &a.diagnostics[1];
+    assert_eq!(sync.rule, DEVICE_HYGIENE);
+    assert_eq!(sync.line, 11);
+    assert!(sync.message.contains("DURABILITY"), "{}", sync.message);
+}
+
+#[test]
+fn inv07_accepts_documented_sync_marker_and_test_code() {
+    // The documented sync (line 16), the excused scratch file (line 21),
+    // and the test-module filesystem use must all pass.
+    let a = run("inv07_device");
+    assert!(
+        a.diagnostics.iter().all(|d| ![16, 21, 28, 29].contains(&d.line)),
+        "{}",
+        render(&a.diagnostics)
+    );
 }
 
 #[test]

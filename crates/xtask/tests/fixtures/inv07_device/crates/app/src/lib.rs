@@ -1,0 +1,32 @@
+//! INV07 fixture: direct filesystem access outside `emsim::device`, and
+//! an undocumented sync call.
+
+pub fn sneak_write(path: &str, bytes: &[u8]) {
+    // Line 6: the violation — `std::fs` bypasses the block device layer.
+    std::fs::write(path, bytes).unwrap();
+}
+
+pub fn undocumented_sync(dev: &dyn emsim::BlockDevice) {
+    // Line 11: the violation — an undocumented sync call.
+    dev.sync().unwrap();
+}
+
+pub fn documented_sync(dev: &dyn emsim::BlockDevice) {
+    // DURABILITY: fixture commit point — this one must NOT be flagged.
+    dev.sync().unwrap();
+}
+
+pub fn excused_scratch(path: &str) {
+    // allow_invariant(device-hygiene): fixture scratch file, not storage.
+    std::fs::remove_file(path).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may touch the filesystem freely — must NOT be flagged.
+    pub fn cleanup(dir: &str) {
+        std::fs::remove_dir_all(dir).ok();
+        let f: Option<std::fs::File> = None;
+        drop(f);
+    }
+}

@@ -8,10 +8,10 @@
 //! — a failure reports the case number and seed instead of a minimal
 //! counterexample, which is enough to reproduce it.
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 use rand::rngs::StdRng;
-use rand::{Rng, SampleUniform, SeedableRng};
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
 
 /// Runner configuration (`proptest::test_runner::Config` stand-in).
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +40,13 @@ pub enum TestCaseError {
     Reject,
     /// An assertion failed.
     Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason (upstream's `fail` constructor).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
 }
 
 /// A value generator (`proptest::strategy::Strategy` stand-in, minus
@@ -90,6 +97,83 @@ impl<T: SampleUniform> Strategy for Range<T> {
     fn new_value(&self, rng: &mut StdRng) -> T {
         rng.gen_range(self.start..self.end)
     }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Full-range values of `T` (`proptest::arbitrary::any` stand-in for the
+/// primitive types the `rand` shim can sample uniformly).
+pub fn any<T: Standard>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A weighted choice over strategies with one value type (the result of
+/// [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// A union of pre-boxed `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all arm weights are zero");
+        Union { arms }
+    }
+}
+
+/// Box one `prop_oneof!` arm (a macro helper; not part of the upstream
+/// surface, hence hidden).
+#[doc(hidden)]
+pub fn __oneof_arm<S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut StdRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, strategy) in &self.arms {
+            if pick < u64::from(*w) {
+                return strategy.new_value(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::__oneof_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 impl<S: Strategy, const N: usize> Strategy for [S; N] {
@@ -178,8 +262,8 @@ pub mod prop {
 /// Everything a test file needs (`proptest::prelude` stand-in).
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -349,6 +433,32 @@ mod tests {
         fn assume_rejects_without_failing(n in 0usize..100) {
             prop_assume!(n % 2 == 0);
             prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn inclusive_ranges_hit_both_ends(n in 0u8..=1, x in 0.5f64..=1.0) {
+            prop_assert!(n <= 1);
+            prop_assert!((0.5..=1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_respects_arms(v in prop::collection::vec(
+            prop_oneof![
+                3 => (0u32..10).prop_map(|n| n as u64),
+                1 => Just(99u64),
+            ],
+            1..30,
+        )) {
+            for n in v {
+                prop_assert!(n < 10 || n == 99);
+            }
+        }
+
+        #[test]
+        fn any_draws_full_range(seed in any::<u64>(), flag in any::<bool>()) {
+            // Nothing to pin beyond "it generates" — the draw itself is
+            // the property (full-range, no panic).
+            let _ = (seed, flag);
         }
     }
 

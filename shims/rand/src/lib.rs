@@ -111,6 +111,19 @@ impl Standard for u32 {
     }
 }
 
+macro_rules! impl_standard_narrow {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Truncation of uniform bits stays uniform.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_narrow!(u8, u16, usize, i8, i16, i32, i64, isize);
+
 /// Types uniformly samplable from a range (`rand`'s `SampleUniform`).
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform in `[lo, hi)` (or `[lo, hi]` when `inclusive`).
