@@ -1,0 +1,10 @@
+//! E24 runner: compression grid — codec × distribution × n on the file
+//! store, logical I/Os pinned to the `raw` baseline, physical bytes
+//! reported. `--trace <dir>` writes Chrome-trace + Prometheus snapshots.
+
+fn main() {
+    let trace = bench::tracectl::TraceGuard::arm_from_cli();
+    let scale = bench::Scale::from_env(bench::Scale::Paper);
+    bench::experiments::compress::exp_compress(scale).print();
+    trace.finish();
+}

@@ -1,0 +1,222 @@
+//! E24: block-payload compression — codec × distribution × n grid on the
+//! file store (DESIGN.md "Compression layer").
+//!
+//! For every cell the same sorted-u64 dataset is built into a fresh
+//! [`FileDevice`] under each codec (`raw`, `vbyte`, `delta`), reopened
+//! cold, and probed with range-top-k queries. Three things are *asserted*
+//! rather than reported:
+//!
+//! * **Answers** — every query result is checked against brute force,
+//!   under every codec.
+//! * **Logical invariance** — metered build and query I/O counts are
+//!   bit-identical to the `raw` baseline (the golden-baseline contract:
+//!   `EMSIM_CODEC` never moves a charged number).
+//! * **The headline saving** — on the clustered distribution `delta`
+//!   must cut physical bytes read by at least 1.5× vs `raw` (acceptance
+//!   criterion; in practice the ratio is far higher).
+//!
+//! What the table reports is the part the meter cannot see: physical
+//! preads and bytes from the [`CostModel::physical`] ledger, and the
+//! compression ratio they imply.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use emsim::codec::{self, BlockCodec};
+use emsim::{BlockArray, BlockDevice, CostModel, EmConfig, FaultPlan, FileDevice, PoolPolicy};
+
+use crate::table::Table;
+use crate::Scale;
+
+/// Block size (words): small enough that every dataset spans many blocks.
+const B: usize = 64;
+/// Pool frames for the query phase: small enough to force real misses.
+const FRAMES: usize = 8;
+
+/// A fresh per-process scratch directory for one cell.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emsim-e24-{}-{name}", std::process::id()));
+    // allow_invariant(device-hygiene): experiment scratch-dir lifecycle,
+    // not block storage — the device under test lives in emsim::device.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Remove a cell directory (best-effort; tmp reaping handles stragglers).
+fn cleanup(dir: &PathBuf) {
+    // allow_invariant(device-hygiene): experiment scratch-dir lifecycle,
+    // not block storage — the device under test lives in emsim::device.
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Deterministic xorshift64 stream (no `rand` dependency).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The three workload shapes of the grid, in ascending compressibility.
+const DISTS: [&str; 3] = ["uniform", "clustered", "zipf"];
+
+/// A sorted run of `n` u64 keys drawn from the named distribution.
+fn dataset(dist: &str, n: usize) -> Vec<u64> {
+    let mut rng = XorShift(0xE24_0000 + n as u64);
+    let mut v: Vec<u64> = match dist {
+        // Uniform over a domain ~4096·n: average gap ≈ 2^12, so varints
+        // help but deltas are not tiny.
+        "uniform" => (0..n).map(|_| rng.next() % (n as u64 * 4096)).collect(),
+        // Tight runs of consecutive keys separated by huge gaps: the
+        // delta codec's best case and the acceptance-criterion workload.
+        "clustered" => (0..n)
+            .map(|i| {
+                let cluster = (i / 64) as u64;
+                cluster * 0x4000_0000 + (i % 64) as u64
+            })
+            .collect(),
+        // Harmonic-ish skew: most keys tiny, a long sparse tail.
+        "zipf" => (0..n)
+            .map(|_| (n as u64 * 16) / (rng.next() % (n as u64) + 1))
+            .collect(),
+        other => panic!("unknown distribution {other}"),
+    };
+    v.sort_unstable();
+    v
+}
+
+/// Brute-force range-top-k oracle: the `k` largest keys `≤ x_max`.
+fn brute_top_k(data: &[u64], x_max: u64, k: usize) -> Vec<u64> {
+    let mut hits: Vec<u64> = data.iter().copied().filter(|&v| v <= x_max).collect();
+    hits.sort_unstable_by(|a, b| b.cmp(a));
+    hits.truncate(k);
+    hits
+}
+
+/// Everything one (codec, dist, n) cell observes: the logical meter counts
+/// that must be codec-invariant, and the physical traffic that must not be.
+struct CellObs {
+    logical: Vec<u64>,
+    bytes_written: u64,
+    bytes_read: u64,
+    preads: u64,
+}
+
+/// Build + cold reopen + query one dataset under `c` on a fresh file store.
+fn run_cell(c: &'static dyn BlockCodec, dist: &str, data: &[u64]) -> CellObs {
+    let n = data.len();
+    let dir = fresh_dir(&format!("{dist}-{n}-{}", c.name()));
+    codec::with_codec(c, || {
+        // Build phase: lay the dataset out under the ambient codec.
+        let (build_writes, bytes_written) = {
+            let dev: Arc<FileDevice> = Arc::new(FileDevice::open(&dir).expect("open build store"));
+            let m = CostModel::with_device(
+                EmConfig::with_memory(B, FRAMES),
+                FaultPlan::none(),
+                PoolPolicy::Lru,
+                dev.clone(),
+            );
+            BlockArray::new_named(&m, "keys", data.to_vec()).expect("build");
+            // DURABILITY: commit the catalog — the cold reopen below must
+            // find the dataset, not an empty recovered store.
+            dev.sync().expect("commit build");
+            (m.report().writes, m.physical().bytes_written)
+        };
+
+        // Query phase: a *cold* reopen — fresh device handle, fresh meter —
+        // so every miss is a genuine physical pread of an encoded image.
+        let dev: Arc<dyn BlockDevice> = Arc::new(FileDevice::open(&dir).expect("reopen store"));
+        let m = CostModel::with_device(
+            EmConfig::with_memory(B, FRAMES),
+            FaultPlan::none(),
+            PoolPolicy::Lru,
+            dev,
+        );
+        let arr: BlockArray<u64> = BlockArray::open_named(&m, "keys").expect("open");
+        let max = *data.last().expect("non-empty dataset");
+        let mut rng = XorShift(0xE24_9999);
+        for _ in 0..24 {
+            let x_max = rng.next() % (max + max / 2 + 1);
+            for k in [1usize, 8, 64] {
+                // Metered index path: binary search for the boundary, then
+                // read the top-k run off the tail of the prefix.
+                let end = arr.partition_point(|&v| v <= x_max);
+                let got: Vec<u64> =
+                    (end.saturating_sub(k)..end).rev().map(|i| *arr.get(i)).collect();
+                assert_eq!(
+                    got,
+                    brute_top_k(data, x_max, k),
+                    "answers diverged under {} on {dist} (n={n}, x_max={x_max}, k={k})",
+                    c.name()
+                );
+            }
+        }
+        let rep = m.report();
+        let phys = m.physical();
+        cleanup(&dir);
+        CellObs {
+            logical: vec![build_writes, rep.reads, rep.writes, rep.pool_hits, rep.pool_misses],
+            bytes_written,
+            bytes_read: phys.bytes_read,
+            preads: phys.preads,
+        }
+    })
+}
+
+/// **E24.** Compression grid: codec × distribution × n on the file store.
+pub fn exp_compress(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E24 — compression: physical bytes under raw/vbyte/delta, logical I/Os pinned",
+        &["dist", "n", "codec", "logical r/w", "preads", "bytes w/r", "ratio(r)"],
+    );
+    let ns: Vec<usize> = match scale {
+        Scale::Smoke => vec![1 << 10, 1 << 12],
+        Scale::Paper => vec![1 << 12, 1 << 14],
+        Scale::Full => vec![1 << 14, 1 << 16],
+    };
+    for dist in DISTS {
+        for &n in &ns {
+            let data = dataset(dist, n);
+            let raw = run_cell(&codec::RAW, dist, &data);
+            for c in codec::all_codecs() {
+                let cell;
+                let obs = if c.tag() == 0 {
+                    &raw
+                } else {
+                    cell = run_cell(c, dist, &data);
+                    &cell
+                };
+                assert_eq!(
+                    obs.logical,
+                    raw.logical,
+                    "logical I/Os moved under {} on {dist} (n={n}) — \
+                     the codec leaked above the meter",
+                    c.name()
+                );
+                let ratio = raw.bytes_read as f64 / obs.bytes_read.max(1) as f64;
+                if dist == "clustered" && c.name() == "delta" {
+                    // The acceptance criterion: delta on the clustered
+                    // workload must cut physical bytes read ≥ 1.5×.
+                    assert!(
+                        ratio >= 1.5,
+                        "delta/clustered bytes-read ratio {ratio:.2} < 1.5 (n={n})"
+                    );
+                }
+                t.row_strings(vec![
+                    dist.into(),
+                    n.to_string(),
+                    c.name().into(),
+                    format!("{}/{}", obs.logical[1], obs.logical[0] + obs.logical[2]),
+                    obs.preads.to_string(),
+                    format!("{}/{}", obs.bytes_written, obs.bytes_read),
+                    format!("{ratio:.2}x"),
+                ]);
+            }
+        }
+    }
+    t
+}

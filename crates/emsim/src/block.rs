@@ -54,7 +54,9 @@ pub(crate) fn encode_header(
 }
 
 /// `(kind, seed_id, block, items, per_block, checksum)` of a header image,
-/// or `None` when the bytes are not a valid header.
+/// or `None` when the bytes are not a valid header. The kind word carries
+/// the payload codec's wire tag in bits 8..16 (see [`encode_image`]);
+/// callers split it with [`split_kind`].
 fn decode_header(bytes: &[u8]) -> Option<(u32, u64, u64, u32, u32, u64)> {
     if bytes.len() < HEADER_LEN {
         return None;
@@ -65,6 +67,40 @@ fn decode_header(bytes: &[u8]) -> Option<(u32, u64, u64, u32, u32, u64)> {
         return None;
     }
     Some((u32_at(4), u64_at(8), u64_at(16), u32_at(24), u32_at(28), u64_at(32)))
+}
+
+/// Split a header kind word into `(kind, codec_tag)`.
+fn split_kind(kind: u32) -> (u32, u8) {
+    (kind & 0xFF, ((kind >> 8) & 0xFF) as u8)
+}
+
+/// Assemble a complete block image: 40-byte header followed by `payload`
+/// run through `codec`, with the codec's wire tag stamped into bits 8..16
+/// of the header's kind word so the image is self-describing — a store
+/// written under one `EMSIM_CODEC` opens correctly under any other. The
+/// header itself always stays raw (recovery must parse it before knowing
+/// any codec), and header-only images (`payload` empty — anonymous-array
+/// and B-tree mirrors) skip the codec entirely: tag 0, byte-identical to
+/// the pre-codec format. Device-level CRCs are computed over the image as
+/// written, so torn-write detection covers compressed payloads for free.
+#[allow(clippy::too_many_arguments)] // mirrors encode_header's field list + codec/payload
+pub(crate) fn encode_image(
+    codec: &dyn crate::codec::BlockCodec,
+    kind: u32,
+    seed_id: u64,
+    block: u64,
+    items: u32,
+    per_block: u32,
+    checksum: u64,
+    payload: &[u8],
+) -> Vec<u8> {
+    if payload.is_empty() {
+        return encode_header(kind, seed_id, block, items, per_block, checksum);
+    }
+    let kind = kind | (u32::from(codec.tag()) << 8);
+    let mut image = encode_header(kind, seed_id, block, items, per_block, checksum);
+    image.extend_from_slice(&codec.encode(payload));
+    image
 }
 
 /// A fixed-size, byte-oriented serialization contract for items that can
@@ -169,16 +205,19 @@ impl<T> BlockArray<T> {
                 block_checksum(seed_id, b, items)
             })
             .collect();
+        let codec = crate::codec::active_codec();
         for b in 0..blocks as u64 {
             let lo = b as usize * per_block;
             let items = (data.len() - lo).min(per_block) as u32;
-            let header = encode_header(
+            let header = encode_image(
+                codec,
                 KIND_HEADER,
                 seed_id,
                 b,
                 items,
                 per_block as u32,
                 checksums[b as usize],
+                &[],
             );
             model.device_write(array_id, b, &header);
         }
@@ -405,21 +444,25 @@ impl<T: Persist> BlockArray<T> {
         let array_id = model.new_array_id();
         let arr = BlockArray::with_seed(model, data, array_id, seed);
         let dev = model.device();
+        let codec = crate::codec::active_codec();
         for b in 0..arr.blocks() {
             let lo = b as usize * arr.per_block;
             let hi = (lo + arr.per_block).min(arr.data.len());
             let items = (hi - lo) as u32;
-            let mut image = encode_header(
+            let mut payload = Vec::with_capacity((hi - lo) * T::SIZE);
+            for item in &arr.data[lo..hi] {
+                item.to_bytes(&mut payload);
+            }
+            let image = encode_image(
+                codec,
                 KIND_PAYLOAD,
                 seed,
                 b,
                 items,
                 arr.per_block as u32,
                 arr.checksums[b as usize],
+                &payload,
             );
-            for item in &arr.data[lo..hi] {
-                item.to_bytes(&mut image);
-            }
             dev.write(BlockId { ns: device::NAMED_NS, array: seed, block: b }, &image)?;
         }
         Ok(arr)
@@ -448,11 +491,15 @@ impl<T: Persist> BlockArray<T> {
             let image = dev
                 .read(BlockId { ns: device::NAMED_NS, array: seed, block: b })?
                 .ok_or_else(|| corrupt(b))?;
-            let (kind, seed_read, block_read, items, per, checksum) =
+            let (kind_word, seed_read, block_read, items, per, checksum) =
                 decode_header(&image).ok_or_else(|| corrupt(b))?;
+            let (kind, codec_tag) = split_kind(kind_word);
             if kind != KIND_PAYLOAD || seed_read != seed || block_read != b {
                 return Err(corrupt(b));
             }
+            // The header tag, not the ambient codec, decides decoding: a
+            // store written under any `EMSIM_CODEC` opens under any other.
+            let codec = crate::codec::codec_by_tag(codec_tag).ok_or_else(|| corrupt(b))?;
             let per = per as usize;
             if *per_block.get_or_insert(per) != per {
                 return Err(corrupt(b));
@@ -467,7 +514,7 @@ impl<T: Persist> BlockArray<T> {
             if block_checksum(seed, b, items as u64) != checksum {
                 return Err(corrupt(b));
             }
-            let payload = &image[HEADER_LEN..];
+            let payload = codec.decode(&image[HEADER_LEN..]).ok_or_else(|| corrupt(b))?;
             if payload.len() != items * T::SIZE {
                 return Err(corrupt(b));
             }
@@ -493,11 +540,20 @@ impl<T: Persist> BlockArray<T> {
         };
         // Re-mirror header images under this meter's namespace so the
         // `try_*` read path verifies the reopened array like any other.
+        let mirror_codec = crate::codec::active_codec();
         for (b, sum) in arr.checksums.iter().enumerate() {
             let lo = b * per_block;
             let items = (arr.data.len() - lo).min(per_block) as u32;
-            let header =
-                encode_header(KIND_HEADER, seed, b as u64, items, per_block as u32, *sum);
+            let header = encode_image(
+                mirror_codec,
+                KIND_HEADER,
+                seed,
+                b as u64,
+                items,
+                per_block as u32,
+                *sum,
+                &[],
+            );
             model.device_write(array_id, b as u64, &header);
         }
         Ok(arr)

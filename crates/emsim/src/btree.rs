@@ -230,13 +230,18 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
     /// mutation never invalidates the mirror — one write per allocation
     /// suffices.
     fn mirror_node(&self, id: usize) {
-        let image = crate::block::encode_header(
+        // Routed through the codec-aware image chokepoint like every other
+        // mirror; node images are header-only (payload lives in native
+        // memory), so every codec leaves them byte-identical.
+        let image = crate::block::encode_image(
+            crate::codec::active_codec(),
             crate::block::KIND_HEADER,
             self.array_id,
             id as u64,
             0,
             self.fanout as u32,
             self.checksums[id],
+            &[],
         );
         self.model.device_write(self.array_id, id as u64, &image);
     }

@@ -1,0 +1,381 @@
+//! Block payload compression, strictly *below* the logical meter and
+//! *above* the device.
+//!
+//! The paper's bounds are stated in logical blocks of capacity `B`, but on
+//! the real [`FileDevice`](crate::FileDevice) the quantity that costs money
+//! is physical bytes. This module closes that gap with a [`BlockCodec`]
+//! applied to the item payload of every persistent block image written by
+//! [`crate::BlockArray`] (headers stay raw so images remain
+//! self-describing):
+//!
+//! * [`Raw`] — identity, today's byte format, still the default.
+//! * [`VByte`] — each 64-bit payload word as a LEB128 varint (7 data bits
+//!   per byte, high bit = continuation): small values shrink to 1–2 bytes.
+//! * [`DeltaVByte`] — zigzag-coded word-to-word deltas, then varints.
+//!   `BlockArray` / `BTree` payloads are sorted runs, so deltas are small
+//!   positive gaps and most words collapse to a single byte — the scheme of
+//!   perlin-core's `compressor/` vbyte utilities.
+//!
+//! Two invariants make the layer safe to slide under everything above it:
+//!
+//! 1. **Metering is purely logical.** Charges (`charge_read`,
+//!    `charge_scan`) count logical blocks, never encoded bytes, so golden
+//!    I/O baselines are bit-identical under every codec — CI re-runs the
+//!    comparison with `EMSIM_CODEC=vbyte` and `=delta` to enforce it. The
+//!    savings show up only on the physical ledger
+//!    ([`CostModel::physical`](crate::CostModel::physical)).
+//! 2. **Images are self-describing.** The codec tag is stamped into the
+//!    block-image header at write time and consulted at open time, so a
+//!    store written under one `EMSIM_CODEC` reads correctly under any
+//!    other, and the torn-write CRC (computed by the device over the
+//!    *encoded* image) covers compressed payloads exactly as it covers raw
+//!    ones.
+//!
+//! Selection mirrors the `EMSIM_DEVICE` pattern: `EMSIM_CODEC=raw|vbyte|
+//! delta` picks the process-ambient codec ([`ambient_codec`], read once);
+//! tests and experiments compare codecs in-process with [`with_codec`].
+//! The decode hot loop dispatches through
+//! [`kernels::vbyte_decode`](crate::kernels::vbyte_decode)
+//! (scalar / unrolled / AVX2, byte-identical across backends).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use crate::kernels;
+
+/// A reversible transform of one block payload image. Implementations must
+/// be byte-exact: `decode(encode(raw)) == raw` for every input, sorted or
+/// not — sortedness only affects the compression *ratio*, never
+/// correctness.
+pub trait BlockCodec: Send + Sync {
+    /// Stable lowercase name (matches the `EMSIM_CODEC` values).
+    fn name(&self) -> &'static str;
+
+    /// The wire tag stamped into block-image headers (see
+    /// [`codec_by_tag`]). Stable across releases: persisted stores carry it.
+    fn tag(&self) -> u8;
+
+    /// Encode one payload image.
+    fn encode(&self, raw: &[u8]) -> Vec<u8>;
+
+    /// Decode one payload image; `None` when `encoded` is not a valid
+    /// encoding (truncated, overflowing varints, trailing garbage, a
+    /// length header that disagrees with the stream).
+    fn decode(&self, encoded: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// The identity codec: encoded image == raw image, byte for byte.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Raw;
+
+/// LEB128 varints over the payload's little-endian 64-bit words.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VByte;
+
+/// Zigzag word-to-word deltas, then LEB128 varints — the sorted-run codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaVByte;
+
+/// The process-wide codec instances [`ambient_codec`] / [`codec_by_tag`]
+/// hand out.
+pub static RAW: Raw = Raw;
+#[allow(missing_docs)]
+pub static VBYTE: VByte = VByte;
+#[allow(missing_docs)]
+pub static DELTA_VBYTE: DeltaVByte = DeltaVByte;
+
+impl BlockCodec for Raw {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn tag(&self) -> u8 {
+        0
+    }
+
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        raw.to_vec()
+    }
+
+    fn decode(&self, encoded: &[u8]) -> Option<Vec<u8>> {
+        Some(encoded.to_vec())
+    }
+}
+
+impl BlockCodec for VByte {
+    fn name(&self) -> &'static str {
+        "vbyte"
+    }
+
+    fn tag(&self) -> u8 {
+        1
+    }
+
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        encode_words(raw, |word, _prev| word)
+    }
+
+    fn decode(&self, encoded: &[u8]) -> Option<Vec<u8>> {
+        decode_words(encoded, |word, _prev| word)
+    }
+}
+
+impl BlockCodec for DeltaVByte {
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+
+    fn tag(&self) -> u8 {
+        2
+    }
+
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        // Delta from an implicit 0 predecessor, zigzag-folded so the first
+        // (absolute) word and any out-of-order gap still fit: wrapping
+        // arithmetic keeps the transform a bijection on arbitrary bytes.
+        encode_words(raw, |word, prev| zigzag(word.wrapping_sub(prev) as i64))
+    }
+
+    fn decode(&self, encoded: &[u8]) -> Option<Vec<u8>> {
+        decode_words(encoded, |folded, prev| {
+            prev.wrapping_add(unzigzag(folded) as u64)
+        })
+    }
+}
+
+/// Zigzag fold: small-magnitude signed deltas → small unsigned varints
+/// (`0 → 0, -1 → 1, 1 → 2, -2 → 3, …`).
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Append `v` to `out` as a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Shared word-stream container for the non-raw codecs:
+///
+/// ```text
+/// [varint raw_len] [varint per 64-bit word, transformed] [tail bytes raw]
+/// ```
+///
+/// where the payload's first `raw_len / 8 * 8` bytes are little-endian
+/// words and `tail` is the `raw_len % 8` leftover (item sizes of 4 bytes
+/// can leave a half word). `fold(word, prev)` maps each word given its
+/// predecessor (identity for [`VByte`], zigzag delta for [`DeltaVByte`]).
+fn encode_words(raw: &[u8], fold: impl Fn(u64, u64) -> u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 4 + 10);
+    put_varint(&mut out, raw.len() as u64);
+    let words = raw.chunks_exact(8);
+    let tail = words.remainder();
+    let mut prev = 0u64;
+    for w in words {
+        let word = u64::from_le_bytes(w.try_into().unwrap());
+        put_varint(&mut out, fold(word, prev));
+        prev = word;
+    }
+    out.extend_from_slice(tail);
+    out
+}
+
+/// Inverse of [`encode_words`]: `unfold(folded, prev)` reconstructs each
+/// word from its transformed form and the previous *reconstructed* word.
+/// The varint hot loop runs through the dispatched
+/// [`kernels::vbyte_decode`] backends.
+fn decode_words(encoded: &[u8], unfold: impl Fn(u64, u64) -> u64) -> Option<Vec<u8>> {
+    let (len_word, mut pos) = kernels::vbyte_decode(encoded, 1)?;
+    if len_word[0] > MAX_PAYLOAD_LEN {
+        return None;
+    }
+    let raw_len = usize::try_from(len_word[0]).ok()?;
+    let n_words = raw_len / 8;
+    let (folded, consumed) = kernels::vbyte_decode(&encoded[pos..], n_words)?;
+    pos += consumed;
+    let tail = &encoded[pos..];
+    if tail.len() != raw_len % 8 {
+        return None; // truncated stream or trailing garbage
+    }
+    let mut raw = Vec::with_capacity(raw_len);
+    let mut prev = 0u64;
+    for f in folded {
+        let word = unfold(f, prev);
+        raw.extend_from_slice(&word.to_le_bytes());
+        prev = word;
+    }
+    raw.extend_from_slice(tail);
+    Some(raw)
+}
+
+/// Upper bound a decoder will believe for a declared payload length — a
+/// corrupted length varint must not turn into a giant allocation before
+/// the CRC / checksum layers get to reject the block.
+const MAX_PAYLOAD_LEN: u64 = 1 << 32;
+
+/// The codec registered under wire `tag`, or `None` for tags no release
+/// has ever written (a corrupt or future-format header byte).
+pub fn codec_by_tag(tag: u8) -> Option<&'static dyn BlockCodec> {
+    match tag {
+        0 => Some(&RAW),
+        1 => Some(&VBYTE),
+        2 => Some(&DELTA_VBYTE),
+        _ => None,
+    }
+}
+
+static AMBIENT: OnceLock<&'static dyn BlockCodec> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_codec`] (tests / E24).
+    static OVERRIDE: Cell<Option<&'static dyn BlockCodec>> = const { Cell::new(None) };
+}
+
+/// The process-ambient codec: `EMSIM_CODEC=raw|vbyte|delta`, default
+/// [`Raw`]. Read once per process, like `EMSIM_DEVICE` / `EMSIM_KERNELS`.
+///
+/// # Panics
+/// On an unrecognized `EMSIM_CODEC` value — a typo silently falling back
+/// to `raw` would un-compress a store the operator believes is compressed.
+pub fn ambient_codec() -> &'static dyn BlockCodec {
+    *AMBIENT.get_or_init(|| match std::env::var("EMSIM_CODEC").as_deref() {
+        Err(_) | Ok("raw") => &RAW,
+        Ok("vbyte") => &VBYTE,
+        Ok("delta") => &DELTA_VBYTE,
+        Ok(other) => panic!("EMSIM_CODEC={other:?}: expected raw|vbyte|delta"),
+    })
+}
+
+/// The codec writes on this thread use right now: the [`with_codec`]
+/// override if one is installed, else the process ambient. Only the
+/// *write* path consults this — reads always follow the header tag.
+pub fn active_codec() -> &'static dyn BlockCodec {
+    OVERRIDE.with(Cell::get).unwrap_or_else(ambient_codec)
+}
+
+/// Run `f` with the write-path codec forced to `codec` on this thread —
+/// how E24 and the property tests compare codecs in one process. Restores
+/// the previous override even if `f` panics.
+pub fn with_codec<R>(codec: &'static dyn BlockCodec, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<&'static dyn BlockCodec>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(codec))));
+    f()
+}
+
+/// Every registered codec, in tag order — the iteration surface for the
+/// property suites and E24.
+pub fn all_codecs() -> [&'static dyn BlockCodec; 3] {
+    [&RAW, &VBYTE, &DELTA_VBYTE]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_run(n: u64, gap: u64) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for i in 0..n {
+            raw.extend_from_slice(&(1000 + i * gap).to_le_bytes());
+        }
+        raw
+    }
+
+    #[test]
+    fn roundtrip_on_word_payloads_and_tails() {
+        let mut cases = vec![
+            Vec::new(),
+            vec![7u8],                    // pure tail, no words
+            sorted_run(1, 3),
+            sorted_run(100, 5),
+            u64::MAX.to_le_bytes().to_vec(),
+        ];
+        let mut with_tail = sorted_run(9, 17);
+        with_tail.extend_from_slice(&[1, 2, 3]); // u32-item stores leave tails
+        cases.push(with_tail);
+        for raw in &cases {
+            for codec in all_codecs() {
+                let enc = codec.encode(raw);
+                assert_eq!(
+                    codec.decode(&enc).as_ref(),
+                    Some(raw),
+                    "{} on {} bytes",
+                    codec.name(),
+                    raw.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_vbyte_compresses_sorted_runs() {
+        let raw = sorted_run(512, 3);
+        let enc = DELTA_VBYTE.encode(&raw);
+        // Gap 3 zigzags to 6: one byte per word after the first.
+        assert!(
+            enc.len() * 4 < raw.len(),
+            "expected ≥4× on a dense sorted run, got {} → {}",
+            raw.len(),
+            enc.len()
+        );
+        assert!(VBYTE.encode(&raw).len() < raw.len());
+        assert_eq!(RAW.encode(&raw), raw);
+    }
+
+    #[test]
+    fn decoders_reject_malformed_streams() {
+        let raw = sorted_run(32, 1);
+        for codec in [&VBYTE as &'static dyn BlockCodec, &DELTA_VBYTE] {
+            let enc = codec.encode(&raw);
+            assert_eq!(codec.decode(&enc[..enc.len() - 1]), None, "truncated");
+            let mut garbage = enc.clone();
+            garbage.push(0x00);
+            assert_eq!(codec.decode(&garbage), None, "trailing garbage");
+            assert_eq!(codec.decode(&[0xFF; 12]), None, "overflowing length");
+        }
+    }
+
+    #[test]
+    fn tags_roundtrip_through_the_registry() {
+        for codec in all_codecs() {
+            let back = codec_by_tag(codec.tag()).expect("registered");
+            assert_eq!(back.name(), codec.name());
+        }
+        assert!(codec_by_tag(3).is_none());
+        assert!(codec_by_tag(0xFF).is_none());
+    }
+
+    #[test]
+    fn with_codec_overrides_and_restores_on_panic() {
+        let before = active_codec().name();
+        let r = std::panic::catch_unwind(|| {
+            with_codec(&DELTA_VBYTE, || {
+                assert_eq!(active_codec().name(), "delta");
+                panic!("boom");
+            });
+        });
+        assert!(r.is_err());
+        assert_eq!(active_codec().name(), before, "override restored after panic");
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for d in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

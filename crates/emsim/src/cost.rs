@@ -244,10 +244,12 @@ struct Inner {
     writes: AtomicU64,
     pool: PoolImpl,
     next_array_id: AtomicU64,
-    /// The physical storage under this meter (see [`crate::device`]). The
-    /// meter itself never charges device traffic — metering stays purely
-    /// logical, which is what keeps golden baselines device-independent.
-    device: Arc<dyn BlockDevice>,
+    /// The physical storage under this meter (see [`crate::device`]),
+    /// always behind a [`device::CountingDevice`] so physical operations
+    /// and payload bytes land on one shared ledger. The meter itself never
+    /// charges device traffic — metering stays purely logical, which is
+    /// what keeps golden baselines device-independent.
+    device: Arc<device::CountingDevice>,
     /// This meter's namespace on the (possibly shared) device: array ids
     /// restart at 0 per meter, so the namespace is what keeps two meters'
     /// arrays from colliding on one `FileDevice`.
@@ -390,6 +392,20 @@ impl CostModel {
         policy: PoolPolicy,
         device: Arc<dyn BlockDevice>,
     ) -> Self {
+        // One counting wrapper per meter family: physical traffic from this
+        // meter and every `scoped` child lands on the same ledger, feeding
+        // `physical()` and the EXPLAIN physical-bytes row.
+        CostModel::with_counting(config, plan, policy, Arc::new(device::CountingDevice::new(device)))
+    }
+
+    /// Shared-ledger constructor: `scoped` children re-use the parent's
+    /// [`device::CountingDevice`] rather than stacking a second wrapper.
+    fn with_counting(
+        config: EmConfig,
+        plan: FaultPlan,
+        policy: PoolPolicy,
+        device: Arc<device::CountingDevice>,
+    ) -> Self {
         let plan = plan.for_class(device.class());
         let sink = trace::ambient_sink();
         let device_checked = device.class() == DeviceClass::File || plan.has_device_faults();
@@ -439,9 +455,19 @@ impl CostModel {
         );
     }
 
-    /// The physical device under this meter.
+    /// The physical device under this meter (the per-meter counting
+    /// wrapper; pass it on so derived traffic stays on this ledger).
     pub fn device(&self) -> Arc<dyn BlockDevice> {
         self.inner.device.clone()
+    }
+
+    /// Physical traffic under this meter since construction: `pread` /
+    /// `pwrite` / `sync` counts and payload bytes, from the shared
+    /// [`device::DeviceLedger`]. Purely observational — nothing here feeds
+    /// back into the logical meter, which is what keeps golden baselines
+    /// codec- and device-independent.
+    pub fn physical(&self) -> device::DeviceCounts {
+        self.inner.device.counts()
     }
 
     /// This meter's namespace on the device (the [`BlockId::ns`] of every
@@ -563,9 +589,13 @@ impl CostModel {
         let prev = self.trace_sink();
         let sink = Arc::new(RecordingSink::new());
         self.set_trace_sink(sink.clone());
+        let before = self.physical();
         let out = f();
+        let physical = self.physical().since(&before);
         self.install_sink(prev);
-        (out, sink.report())
+        let mut report = sink.report();
+        report.physical = physical;
+        (out, report)
     }
 
     /// The machine parameters.
@@ -611,7 +641,7 @@ impl CostModel {
         // trials measure sharded-mode residency — and its *device*, so
         // trials against a file-backed or counting store hit the same
         // store (the child still gets a private namespace on it).
-        let child = CostModel::with_device(
+        let child = CostModel::with_counting(
             self.inner.config,
             self.fault_plan(),
             self.inner.policy,

@@ -796,7 +796,7 @@ impl BlockDevice for FileDevice {
 // CountingDevice
 // ---------------------------------------------------------------------------
 
-/// Physical traffic observed by a [`CountingDevice`].
+/// Physical traffic observed by a [`DeviceLedger`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DeviceCounts {
     /// `read` calls (each is exactly one `pread` on [`FileDevice`]).
@@ -805,18 +805,89 @@ pub struct DeviceCounts {
     pub pwrites: u64,
     /// `sync` calls.
     pub syncs: u64,
+    /// Payload bytes returned by successful, non-empty `read` calls —
+    /// the quantity a block codec actually shrinks (see `emsim::codec`).
+    pub bytes_read: u64,
+    /// Payload bytes submitted to `write` calls.
+    pub bytes_written: u64,
+}
+
+impl DeviceCounts {
+    /// Counter-wise `self - earlier`, for before/after delta windows.
+    #[must_use]
+    pub fn since(&self, earlier: &DeviceCounts) -> DeviceCounts {
+        DeviceCounts {
+            preads: self.preads.saturating_sub(earlier.preads),
+            pwrites: self.pwrites.saturating_sub(earlier.pwrites),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+}
+
+/// The single physical-traffic ledger implementation: operation counts
+/// plus payload bytes, shared by [`CountingDevice`] and the per-meter
+/// physical accounting on `CostModel` (one set of counters, not two
+/// parallel ones). Attempts are counted whether or not they succeed,
+/// because a failed syscall still went to the device; bytes are counted
+/// for the payloads that actually crossed (returned on read, submitted
+/// on write).
+#[derive(Debug, Default)]
+pub struct DeviceLedger {
+    preads: crate::sync::atomic::AtomicU64,
+    pwrites: crate::sync::atomic::AtomicU64,
+    syncs: crate::sync::atomic::AtomicU64,
+    bytes_read: crate::sync::atomic::AtomicU64,
+    bytes_written: crate::sync::atomic::AtomicU64,
+}
+
+impl DeviceLedger {
+    /// A fresh all-zero ledger.
+    pub fn new() -> Self {
+        DeviceLedger::default()
+    }
+
+    /// Record one `read` attempt returning `bytes` payload bytes.
+    fn note_read(&self, bytes: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.preads.fetch_add(1, Relaxed);
+        self.bytes_read.fetch_add(bytes, Relaxed);
+    }
+
+    /// Record one `write` attempt submitting `bytes` payload bytes.
+    fn note_write(&self, bytes: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.pwrites.fetch_add(1, Relaxed);
+        self.bytes_written.fetch_add(bytes, Relaxed);
+    }
+
+    /// Record one `sync` attempt.
+    fn note_sync(&self) {
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The counts so far.
+    pub fn snapshot(&self) -> DeviceCounts {
+        use std::sync::atomic::Ordering::Relaxed;
+        DeviceCounts {
+            preads: self.preads.load(Relaxed),
+            pwrites: self.pwrites.load(Relaxed),
+            syncs: self.syncs.load(Relaxed),
+            bytes_read: self.bytes_read.load(Relaxed),
+            bytes_written: self.bytes_written.load(Relaxed),
+        }
+    }
 }
 
 /// A transparent wrapper that counts physical operations — the instrument
 /// behind E23's simulator-validation table (metered logical I/Os vs actual
-/// `pread`/`pwrite` counts). Attempts are counted whether or not they
-/// succeed, because a failed syscall still went to the device.
+/// `pread`/`pwrite` counts) and the feed for `CostModel`'s physical-bytes
+/// accounting. All counting goes through one shared [`DeviceLedger`].
 #[derive(Debug)]
 pub struct CountingDevice {
     inner: Arc<dyn BlockDevice>,
-    preads: crate::sync::atomic::AtomicU64,
-    pwrites: crate::sync::atomic::AtomicU64,
-    syncs: crate::sync::atomic::AtomicU64,
+    ledger: DeviceLedger,
 }
 
 impl CountingDevice {
@@ -824,20 +895,13 @@ impl CountingDevice {
     pub fn new(inner: Arc<dyn BlockDevice>) -> Self {
         CountingDevice {
             inner,
-            preads: crate::sync::atomic::AtomicU64::new(0),
-            pwrites: crate::sync::atomic::AtomicU64::new(0),
-            syncs: crate::sync::atomic::AtomicU64::new(0),
+            ledger: DeviceLedger::new(),
         }
     }
 
     /// The counts so far.
     pub fn counts(&self) -> DeviceCounts {
-        use std::sync::atomic::Ordering::Relaxed;
-        DeviceCounts {
-            preads: self.preads.load(Relaxed),
-            pwrites: self.pwrites.load(Relaxed),
-            syncs: self.syncs.load(Relaxed),
-        }
+        self.ledger.snapshot()
     }
 }
 
@@ -847,17 +911,22 @@ impl BlockDevice for CountingDevice {
     }
 
     fn read(&self, id: BlockId) -> Result<Option<Vec<u8>>, EmError> {
-        self.preads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.inner.read(id)
+        let out = self.inner.read(id);
+        let bytes = match &out {
+            Ok(Some(payload)) => payload.len() as u64,
+            _ => 0,
+        };
+        self.ledger.note_read(bytes);
+        out
     }
 
     fn write(&self, id: BlockId, payload: &[u8]) -> Result<(), EmError> {
-        self.pwrites.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.ledger.note_write(payload.len() as u64);
         self.inner.write(id, payload)
     }
 
     fn sync(&self) -> Result<(), EmError> {
-        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.ledger.note_sync();
         // DURABILITY: pass-through — the wrapped device performs the real
         // data-fsync + catalog commit; counting must not change semantics.
         self.inner.sync()
@@ -1108,7 +1177,18 @@ mod tests {
         let _ = dev.read(id(0, 0, 9)).expect("read miss still counts");
         assert_eq!(
             dev.counts(),
-            DeviceCounts { preads: 2, pwrites: 2, syncs: 1 }
+            DeviceCounts {
+                preads: 2,
+                pwrites: 2,
+                syncs: 1,
+                bytes_read: 1,  // the hit returned 1 byte; the miss none
+                bytes_written: 2,
+            }
+        );
+        let later = DeviceCounts { preads: 5, bytes_read: 9, ..dev.counts() };
+        assert_eq!(
+            later.since(&dev.counts()),
+            DeviceCounts { preads: 3, bytes_read: 8, ..DeviceCounts::default() }
         );
         assert_eq!(dev.class(), DeviceClass::Mem);
         assert_eq!(dev.len(), 2);

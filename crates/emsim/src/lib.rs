@@ -34,6 +34,11 @@
 //!   committed via write-temp/fsync/rename). Metering stays purely
 //!   logical — `EMSIM_DEVICE=mem|file` never moves a golden baseline —
 //!   and E23 validates the meter against counted physical I/Os.
+//! * [`codec`] — block payload compression between the meter and the
+//!   device: a [`BlockCodec`] (`raw` / `vbyte` / `delta`, selected via
+//!   `EMSIM_CODEC`) applied to persistent block images. Logical charges
+//!   are codec-independent; the physical-bytes ledger
+//!   ([`CostModel::physical`]) records the savings.
 //! * [`fault`] / [`error`] — deterministic fault injection ([`FaultPlan`])
 //!   with typed failures ([`EmError`]) and bounded-retry recovery
 //!   ([`Retrier`]); the `try_*` accessors on [`BlockArray`] / [`BTree`]
@@ -52,6 +57,7 @@
 
 pub mod block;
 pub mod btree;
+pub mod codec;
 pub mod cost;
 pub mod device;
 pub mod error;
@@ -66,12 +72,13 @@ pub mod trace;
 
 pub use block::{BlockArray, Persist};
 pub use btree::BTree;
+pub use codec::{ambient_codec, with_codec, BlockCodec, DeltaVByte, Raw, VByte};
 pub use cost::{
     credit_thread, thread_charged, CostModel, EmConfig, IoReport, PoolPolicy, ScopedMeter,
 };
 pub use device::{
-    BlockDevice, BlockId, CountingDevice, DeviceClass, DeviceCounts, FileDevice, MemDevice,
-    RecoveryReport,
+    BlockDevice, BlockId, CountingDevice, DeviceClass, DeviceCounts, DeviceLedger, FileDevice,
+    MemDevice, RecoveryReport,
 };
 pub use error::EmError;
 pub use fault::{

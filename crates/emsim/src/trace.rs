@@ -211,6 +211,12 @@ impl PhaseStats {
 pub struct CostReport {
     /// Per-phase totals, keyed by phase label.
     pub phases: BTreeMap<&'static str, PhaseStats>,
+    /// Physical device traffic over the report's window (filled in by
+    /// [`CostModel::explain`](crate::CostModel::explain); zero for reports
+    /// assembled straight from a [`RecordingSink`]). Physical counters are
+    /// not attributed to phases — mirroring is asynchronous to spans — so
+    /// they ride alongside the logical table rather than inside it.
+    pub physical: crate::device::DeviceCounts,
 }
 
 impl CostReport {
@@ -261,6 +267,14 @@ impl CostReport {
             t.retries,
             t.nanos / 1_000
         );
+        let ph = &self.physical;
+        if *ph != crate::device::DeviceCounts::default() {
+            let _ = writeln!(
+                out,
+                "  physical: {} preads / {} pwrites / {} syncs, {} bytes read / {} bytes written",
+                ph.preads, ph.pwrites, ph.syncs, ph.bytes_read, ph.bytes_written
+            );
+        }
         out
     }
 
@@ -284,6 +298,21 @@ impl CostReport {
             for (name, p) in &self.phases {
                 let _ = writeln!(out, "{family}{{phase=\"{name}\"}} {}", get(p));
             }
+        }
+        // Physical-traffic families (no `phase` label: the device below the
+        // meter is not span-attributed). `emsim_physical_bytes_*` are the
+        // counters the codec layer shrinks; the op counts contextualize them.
+        let ph = &self.physical;
+        let physical: [(&str, u64); 5] = [
+            ("emsim_physical_preads", ph.preads),
+            ("emsim_physical_pwrites", ph.pwrites),
+            ("emsim_physical_syncs", ph.syncs),
+            ("emsim_physical_bytes_read", ph.bytes_read),
+            ("emsim_physical_bytes_written", ph.bytes_written),
+        ];
+        for (family, value) in physical {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "{family} {value}");
         }
         out
     }
@@ -324,6 +353,7 @@ impl RecordingSink {
     pub fn report(&self) -> CostReport {
         CostReport {
             phases: lock_recover(&self.phases).clone(),
+            ..CostReport::default()
         }
     }
 
@@ -840,15 +870,30 @@ mod tests {
                 ..PhaseStats::default()
             },
         );
-        let r = CostReport { phases };
+        let mut r = CostReport { phases, ..CostReport::default() };
         let text = r.render("theorem1 query");
         assert!(text.contains("EXPLAIN theorem1 query"));
         assert!(text.contains("probe"));
         assert!(text.contains("TOTAL"));
+        assert!(!text.contains("physical:"), "all-zero physical row is elided");
         let prom = r.prometheus();
         assert!(prom.contains("# TYPE emsim_phase_reads counter"));
         assert!(prom.contains("emsim_phase_reads{phase=\"scan\"} 40"));
+        assert!(prom.contains("# TYPE emsim_physical_bytes_read counter"));
+        assert!(prom.contains("emsim_physical_bytes_read 0"));
         assert_eq!(r.total().reads, 52);
+
+        r.physical = crate::device::DeviceCounts {
+            preads: 4,
+            bytes_read: 160,
+            ..crate::device::DeviceCounts::default()
+        };
+        let text = r.render("with physical");
+        assert!(text.contains("physical: 4 preads"));
+        assert!(text.contains("160 bytes read"));
+        let prom = r.prometheus();
+        assert!(prom.contains("emsim_physical_bytes_read 160"));
+        assert!(prom.contains("emsim_physical_preads 4"));
     }
 
     #[test]

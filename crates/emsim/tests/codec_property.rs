@@ -1,0 +1,243 @@
+//! Property suite pinning the codec-layer invariants (the compression PR):
+//!
+//! * **Roundtrip**: for every registered codec and any payload — random
+//!   sorted runs, empty, single-entry, max-width, adversarial all-equal —
+//!   `decode(encode(raw)) == raw`, byte for byte.
+//! * **Torn-write detection**: a compressed block image torn mid-write is
+//!   caught by the device CRC exactly like a raw one — [`EmError::Corrupt`],
+//!   never a silently short array.
+//! * **Logical-meter invariance**: build / reopen / query a named array
+//!   under `Raw`, `VByte`, and `DeltaVByte` and the metered I/O counts are
+//!   bit-identical, under both the exact-LRU and sharded-CLOCK pools —
+//!   the in-process enforcement of the golden-baseline contract CI checks
+//!   with `EMSIM_CODEC=vbyte|delta`.
+//! * **Cross-codec opens**: the header tag, not the ambient codec, decides
+//!   decoding — a store written under one codec opens under any other.
+
+use std::sync::Arc;
+
+use emsim::codec::{self, BlockCodec};
+use emsim::{
+    BlockArray, BlockDevice, CostModel, EmConfig, EmError, FaultPlan, MemDevice, PoolPolicy,
+};
+use proptest::prelude::*;
+
+fn all_codecs() -> [&'static dyn BlockCodec; 3] {
+    codec::all_codecs()
+}
+
+/// Serialize a u64 run the way `BlockArray::new_named` lays out payloads.
+fn payload_of(vals: &[u64]) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    raw
+}
+
+#[test]
+fn roundtrip_edge_payloads() {
+    let cases: Vec<Vec<u64>> = vec![
+        vec![],                          // empty
+        vec![42],                        // single entry
+        vec![u64::MAX],                  // single max-width
+        vec![u64::MAX; 200],             // adversarial: all-equal at max width
+        vec![0; 200],                    // adversarial: all-equal at zero
+        (0..1000).collect(),             // dense sorted run
+        vec![0, u64::MAX],               // maximal single delta
+        vec![u64::MAX, 0],               // wrapping (unsorted) delta
+    ];
+    for vals in &cases {
+        let raw = payload_of(vals);
+        for c in all_codecs() {
+            let enc = c.encode(&raw);
+            assert_eq!(
+                c.decode(&enc).as_ref(),
+                Some(&raw),
+                "{} failed on {} items",
+                c.name(),
+                vals.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Roundtrip over random sorted runs — the payload shape the codecs
+    /// are tuned for.
+    #[test]
+    fn roundtrip_random_sorted_runs(
+        mut vals in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        vals.sort_unstable();
+        let raw = payload_of(&vals);
+        for c in all_codecs() {
+            let decoded = c.decode(&c.encode(&raw));
+            prop_assert_eq!(decoded.as_ref(), Some(&raw), "{}", c.name());
+        }
+    }
+
+    /// Roundtrip on arbitrary (unsorted) byte payloads, including lengths
+    /// that are not word multiples — sortedness buys ratio, never
+    /// correctness.
+    #[test]
+    fn roundtrip_arbitrary_bytes(raw in proptest::collection::vec(any::<u8>(), 0..600)) {
+        for c in all_codecs() {
+            let decoded = c.decode(&c.encode(&raw));
+            prop_assert_eq!(decoded.as_ref(), Some(&raw), "{}", c.name());
+        }
+    }
+
+    /// Decoders never panic on arbitrary garbage: they return `Some` only
+    /// for exact roundtrips of what a valid encoder could have produced.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        for c in all_codecs() {
+            if let Some(decoded) = c.decode(&bytes) {
+                prop_assert_eq!(c.encode(&decoded), bytes.clone(), "{}", c.name());
+            }
+        }
+    }
+}
+
+/// A torn write under any codec surfaces as [`EmError::Corrupt`] at reopen:
+/// the device CRC is computed over the encoded image as written, so
+/// compressed payloads get exactly the same torn-write coverage as raw
+/// ones.
+#[test]
+fn torn_compressed_blocks_fail_crc_on_reopen() {
+    for c in all_codecs() {
+        let plan = FaultPlan::new(7).with_torn_write(1.0);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::with_plan(plan));
+        let writer = CostModel::with_device(
+            EmConfig::new(64),
+            FaultPlan::none(),
+            PoolPolicy::Lru,
+            dev.clone(),
+        );
+        let name = format!("torn-{}", c.name());
+        codec::with_codec(c, || {
+            BlockArray::new_named(&writer, &name, (0u64..500).collect())
+                .expect("torn writes still return Ok; the damage surfaces on read");
+        });
+        let reader = CostModel::with_device(
+            EmConfig::new(64),
+            FaultPlan::none(),
+            PoolPolicy::Lru,
+            dev.clone(),
+        );
+        let got = BlockArray::<u64>::open_named(&reader, &name);
+        assert!(
+            matches!(got, Err(EmError::Corrupt { .. })),
+            "{}: torn image must be detected, got {got:?}",
+            c.name()
+        );
+    }
+}
+
+/// A store written under one codec opens under any ambient codec: decoding
+/// follows the persisted header tag, not the environment.
+#[test]
+fn stores_open_across_codecs() {
+    let data: Vec<u64> = (0..700).map(|i| 3 * i).collect();
+    for writer_codec in all_codecs() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new());
+        let writer = CostModel::with_device(
+            EmConfig::new(64),
+            FaultPlan::none(),
+            PoolPolicy::Lru,
+            dev.clone(),
+        );
+        codec::with_codec(writer_codec, || {
+            BlockArray::new_named(&writer, "cross", data.clone()).expect("write");
+        });
+        for reader_codec in all_codecs() {
+            let reader = CostModel::with_device(
+                EmConfig::new(64),
+                FaultPlan::none(),
+                PoolPolicy::Lru,
+                dev.clone(),
+            );
+            let arr = codec::with_codec(reader_codec, || {
+                BlockArray::<u64>::open_named(&reader, "cross").expect("open")
+            });
+            assert_eq!(
+                arr.raw(),
+                &data[..],
+                "written {} / opened under ambient {}",
+                writer_codec.name(),
+                reader_codec.name()
+            );
+        }
+    }
+}
+
+/// One build + reopen + query workout, returning the metered counts and
+/// the physical byte traffic.
+fn workout(c: &'static dyn BlockCodec, policy: PoolPolicy) -> (Vec<u64>, u64, u64) {
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new());
+    let model = CostModel::with_device(EmConfig::new(64), FaultPlan::none(), policy, dev);
+    codec::with_codec(c, || {
+        let data: Vec<u64> = (0..2000).map(|i| 1000 + 5 * i).collect();
+        let arr = BlockArray::new_named(&model, "inv", data).expect("write");
+        let built = model.report();
+
+        let reopened = BlockArray::<u64>::open_named(&model, "inv").expect("open");
+        let opened = model.report();
+
+        let mut sum = 0u64;
+        reopened.scan(|&x| sum += x);
+        let probe = reopened.partition_point(|&x| x < 6000);
+        assert_eq!(*reopened.get(probe), 6000);
+        assert_eq!(arr.raw(), reopened.raw());
+        let queried = model.report();
+
+        let phys = model.physical();
+        (
+            vec![
+                built.reads,
+                built.writes,
+                opened.reads,
+                opened.writes,
+                queried.reads,
+                queried.writes,
+                queried.pool_hits,
+                queried.pool_misses,
+                sum,
+            ],
+            phys.bytes_written,
+            phys.bytes_read,
+        )
+    })
+}
+
+/// The tentpole invariant: logical meters are bit-identical under every
+/// codec and both pool policies, while the physical byte ledger shows the
+/// compressed codecs actually writing/reading fewer bytes.
+#[test]
+fn logical_meter_is_codec_invariant_under_both_pools() {
+    for policy in [PoolPolicy::Lru, PoolPolicy::ShardedClock { shards: 4 }] {
+        let (raw_logical, raw_bw, raw_br) = workout(&codec::RAW, policy);
+        for c in [&codec::VBYTE as &'static dyn BlockCodec, &codec::DELTA_VBYTE] {
+            let (logical, bw, br) = workout(c, policy);
+            assert_eq!(
+                logical,
+                raw_logical,
+                "logical counts moved under {} / {policy:?}",
+                c.name()
+            );
+            assert!(
+                bw < raw_bw,
+                "{}: expected fewer physical bytes written ({bw} vs raw {raw_bw})",
+                c.name()
+            );
+            assert!(
+                br < raw_br,
+                "{}: expected fewer physical bytes read ({br} vs raw {raw_br})",
+                c.name()
+            );
+        }
+    }
+}

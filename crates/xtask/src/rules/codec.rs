@@ -1,0 +1,73 @@
+//! INV08 `codec-confinement` — block-image encoding and decoding stays
+//! inside `emsim::codec` (and the kernels that back it).
+//!
+//! The compression layer sits strictly between the logical meter and the
+//! physical device: one `encode_image` chokepoint stamps the codec tag
+//! into the header, one tag-driven decode path reads it back, and the
+//! varint kernels under them are dispatch-equivalent across backends.
+//! That is what makes `EMSIM_CODEC` safe — golden baselines cannot move
+//! because no charged path ever sees encoded bytes. A second encoder in
+//! an index crate (or a bench harness peeling varints by hand) would
+//! silently fork the wire format and un-pin that guarantee. Outside
+//! `crates/emsim`, any reference to the encode/decode entry points
+//! (call, `use` import, or path mention) is a violation; selecting a
+//! codec (`with_codec`, `ambient_codec`, `all_codecs`) is public API and
+//! always fine. Test code is exempt; deliberate exceptions carry
+//! `allow_invariant(codec-confinement)` markers with their reasons.
+
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, CODEC_CONFINEMENT};
+use crate::rules::in_emsim;
+
+/// The guarded entry points: the image chokepoint, the tag registry, and
+/// the varint coding primitives behind `BlockCodec::{encode, decode}`.
+const RESTRICTED: &[&str] = &[
+    "encode_image",
+    "codec_by_tag",
+    "vbyte_decode",
+    "encode_words",
+    "decode_words",
+    "put_varint",
+];
+
+/// Run the rule on one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if in_emsim(&ctx.rel) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !RESTRICTED.contains(&name) {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // Only flag *references*: a call `name(...)`, a turbofish
+        // `name::<...>`, or a path/use mention `codec::name`. A local
+        // `fn name` definition or an unrelated identifier is left alone.
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || (toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct('<')));
+        let in_path = i >= 1 && toks[i - 1].is_punct(':');
+        let defined = i >= 1 && toks[i - 1].is_ident("fn");
+        if defined || !(called || in_path) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: CODEC_CONFINEMENT,
+            file: ctx.rel.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{name}` referenced outside `emsim::codec`; block-image \
+                 encoding/decoding is confined to the codec layer \
+                 (crates/emsim/src/codec.rs) so the wire format and the \
+                 logical-meter invariance stay single-sited — select a codec \
+                 with `with_codec`/`EMSIM_CODEC` instead of coding bytes here"
+            ),
+            snippet: ctx.snippet(t.line),
+        });
+    }
+}

@@ -1,0 +1,30 @@
+//! INV08 fixture: codec entry points referenced outside `emsim::codec`.
+
+pub fn hand_rolled_decode(bytes: &[u8]) -> usize {
+    // Line 5: the violation — a varint kernel invoked outside emsim.
+    let (vals, _) = emsim::kernels::vbyte_decode(bytes, 4).unwrap();
+    vals.len()
+}
+
+pub fn peeks_registry(tag: u8) -> bool {
+    // Line 11: the violation — the tag registry is the decoder's business.
+    emsim::codec::codec_by_tag(tag).is_some()
+}
+
+pub fn selects_codec() {
+    // Selecting a codec is public API — must NOT be flagged.
+    emsim::codec::with_codec(&emsim::codec::VBYTE, || {});
+}
+
+pub fn excused(bytes: &[u8]) -> bool {
+    // allow_invariant(codec-confinement): fixture oracle, not a format fork.
+    emsim::kernels::vbyte_decode(bytes, 1).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may exercise the codecs freely — must NOT be flagged.
+    pub fn roundtrip(bytes: &[u8]) {
+        let _ = emsim::kernels::vbyte_decode(bytes, 2);
+    }
+}
