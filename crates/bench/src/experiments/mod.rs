@@ -1,4 +1,4 @@
-//! The experiments E1–E24 (see DESIGN.md §4 for the index).
+//! The experiments E1–E25 (see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod baseline;
@@ -10,6 +10,7 @@ pub mod persist;
 pub mod problems;
 pub mod reductions;
 pub mod sampling;
+pub mod serve;
 pub mod space;
 pub mod trace;
 pub mod updates;

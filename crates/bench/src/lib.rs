@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod table;
 pub mod tracectl;
+pub mod traffic;
 
 pub use table::Table;
 

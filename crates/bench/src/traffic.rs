@@ -1,0 +1,205 @@
+//! Open-loop traffic generation for the serving experiments (E25): a
+//! seeded LCG drives Zipf-skewed prefix keys, a weighted tenant mix, and
+//! bursty Poisson-ish arrival offsets.
+//!
+//! Everything is a pure function of the seed — the same [`TrafficConfig`]
+//! always yields the same request sequence (keys, tenants, `k`s, arrival
+//! offsets), which is what lets the E25 closed-loop half replay the
+//! *exact* stream the open-loop half offers and stay golden-pinned.
+
+use std::time::Duration;
+
+use serve::{QueryRequest, TenantId};
+use topk_core::toy::PrefixQuery;
+
+/// The classic 64-bit LCG (Knuth's MMIX multiplier) — the same generator
+/// family the Theorem 1 pivot sequence uses, kept local so traffic
+/// streams are reproducible from a single `u64` seed with no rand-shim
+/// state.
+#[derive(Clone, Debug)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seed the stream.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // The low bits of an LCG are weak; fold the high half in.
+        self.0 ^ (self.0 >> 33)
+    }
+
+    /// Uniform draw in `[0, bound)` (bound ≥ 1).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform draw in `(0, 1]` — open at zero so `ln` stays finite.
+    pub fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// Knobs for one generated stream.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Stream seed: everything below is a pure function of it.
+    pub seed: u64,
+    /// How many requests to generate.
+    pub requests: usize,
+    /// Key domain: `x_max` values land in `[0, domain)`.
+    pub domain: u64,
+    /// Tenant mix as `(tenant, weight)` — a tenant's share of the stream
+    /// is its weight over the total.
+    pub tenants: Vec<(TenantId, u32)>,
+    /// `k` is drawn uniformly from this menu.
+    pub k_choices: Vec<usize>,
+    /// Mean inter-arrival gap of the Poisson-ish process.
+    pub mean_gap: Duration,
+    /// Every `burst_every`-th arrival opens a burst…
+    pub burst_every: usize,
+    /// …of this many back-to-back (zero-gap) arrivals.
+    pub burst_len: usize,
+}
+
+impl TrafficConfig {
+    /// A four-tenant recommendation-style mix: one "whale" tenant at 60%
+    /// of the stream and three light tenants sharing the rest — the shape
+    /// the per-tenant budget experiments want to stress.
+    pub fn whale_mix(seed: u64, requests: usize, domain: u64) -> Self {
+        TrafficConfig {
+            seed,
+            requests,
+            domain,
+            tenants: vec![(0, 9), (1, 2), (2, 2), (3, 2)],
+            k_choices: vec![1, 4, 16],
+            mean_gap: Duration::from_micros(200),
+            burst_every: 16,
+            burst_len: 4,
+        }
+    }
+}
+
+/// One generated request with its open-loop arrival offset (from stream
+/// start). Closed-loop drivers ignore `at` and replay `req` in order.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Offset from the start of the stream at which to submit.
+    pub at: Duration,
+    /// The request itself.
+    pub req: QueryRequest<PrefixQuery>,
+}
+
+/// Generate the stream. Keys are Zipf-skewed via a log-uniform draw
+/// (`⌊e^(u·ln domain)⌋`, density ∝ 1/x — hot small prefixes, a long cold
+/// tail), arrivals are exponential gaps around `mean_gap` with every
+/// `burst_every`-th arrival opening `burst_len` zero-gap submissions.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Arrival> {
+    assert!(!cfg.tenants.is_empty(), "traffic needs at least one tenant");
+    assert!(!cfg.k_choices.is_empty(), "traffic needs at least one k");
+    let total_weight: u64 = cfg.tenants.iter().map(|&(_, w)| w as u64).sum();
+    assert!(total_weight > 0, "tenant weights must not all be zero");
+
+    let mut rng = Lcg::new(cfg.seed);
+    let mut at = Duration::ZERO;
+    let mut burst_left = 0usize;
+    (0..cfg.requests)
+        .map(|i| {
+            // Arrival process: bursts ride on the Poisson-ish base gaps.
+            if cfg.burst_every > 0 && i > 0 && i % cfg.burst_every == 0 {
+                burst_left = cfg.burst_len;
+            }
+            if burst_left > 0 {
+                burst_left -= 1; // zero gap inside a burst
+            } else if i > 0 {
+                let gap = -cfg.mean_gap.as_secs_f64() * rng.next_unit().ln();
+                at += Duration::from_secs_f64(gap);
+            }
+
+            // Weighted tenant pick.
+            let mut pick = rng.next_below(total_weight);
+            let tenant = cfg
+                .tenants
+                .iter()
+                .find(|&&(_, w)| {
+                    if pick < w as u64 {
+                        true
+                    } else {
+                        pick -= w as u64;
+                        false
+                    }
+                })
+                .map(|&(t, _)| t)
+                .expect("weighted pick lands in some tenant");
+
+            // Zipf-ish key: log-uniform over the domain.
+            let u = rng.next_unit();
+            let key = (u * (cfg.domain.max(2) as f64).ln()).exp() as u64;
+            let x_max = key.min(cfg.domain.saturating_sub(1));
+
+            let k = cfg.k_choices[rng.next_below(cfg.k_choices.len() as u64) as usize];
+            Arrival {
+                at,
+                req: QueryRequest {
+                    tenant,
+                    query: PrefixQuery { x_max },
+                    k,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let cfg = TrafficConfig::whale_mix(0xABCD, 200, 4096);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.req.tenant, y.req.tenant);
+            assert_eq!(x.req.query.x_max, y.req.query.x_max);
+            assert_eq!(x.req.k, y.req.k);
+        }
+    }
+
+    #[test]
+    fn keys_are_skewed_toward_small_prefixes() {
+        let cfg = TrafficConfig::whale_mix(7, 2000, 1 << 16);
+        let arrivals = generate(&cfg);
+        let small = arrivals
+            .iter()
+            .filter(|a| a.req.query.x_max < 1 << 8)
+            .count();
+        // Log-uniform: half the mass below sqrt(domain) = 2^8.
+        assert!(small > 600, "Zipf skew missing: {small}/2000 small keys");
+        assert!(arrivals.iter().all(|a| a.req.query.x_max < 1 << 16));
+    }
+
+    #[test]
+    fn whale_dominates_the_mix_and_arrivals_are_monotone() {
+        let cfg = TrafficConfig::whale_mix(42, 1500, 4096);
+        let arrivals = generate(&cfg);
+        let whale = arrivals.iter().filter(|a| a.req.tenant == 0).count();
+        assert!(
+            (700..1100).contains(&whale),
+            "whale share off: {whale}/1500"
+        );
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at, "arrival offsets must be monotone");
+        }
+        // Bursts exist: some consecutive arrivals share an offset.
+        assert!(arrivals.windows(2).any(|w| w[0].at == w[1].at));
+    }
+}

@@ -43,6 +43,15 @@ pub trait BatchKey {
     fn batch_key(&self) -> u64;
 }
 
+/// References order like the queries they point at, so schedulers that
+/// gather `&Q` views of a partially-admitted batch (the serving loop) can
+/// feed them straight to [`locality_order`].
+impl<Q: BatchKey + ?Sized> BatchKey for &Q {
+    fn batch_key(&self) -> u64 {
+        (**self).batch_key()
+    }
+}
+
 /// The execution schedule for a batch: indices into `queries`, sorted by
 /// `(batch_key, input index)` — deterministic, stable on ties.
 ///

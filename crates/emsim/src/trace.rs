@@ -80,6 +80,15 @@ pub mod phase {
     pub const REBUILD: &str = "rebuild";
     /// Batched execution machinery (locality ordering, shared scans).
     pub const BATCH: &str = "batch";
+    /// Serving-loop queueing: group-commit window collection and the
+    /// locality reorder before a batch executes (see SERVING.md).
+    pub const QUEUE: &str = "queue";
+    /// Serving-loop admission control: per-tenant budget verdicts taken at
+    /// batch formation.
+    pub const ADMIT: &str = "admit";
+    /// Serving-loop load shedding: a request answered `Degraded` without
+    /// touching the index (over-budget tenant or saturated queue).
+    pub const SHED: &str = "shed";
     /// The catch-all phase for charges made outside any open span. Keeping
     /// it explicit is what makes per-phase totals sum *exactly* to the
     /// aggregate meter.

@@ -1,0 +1,102 @@
+//! An async-flavored top-k query service with SLO-aware degradation —
+//! the serving loop that composes the repo's library pieces (locality
+//! batching, per-tenant [`ScopedMeter`](emsim::ScopedMeter) ledgers, the
+//! [`Retrier`](emsim::Retrier)/[`TopKAnswer`](topk_core::TopKAnswer)
+//! ladder) into something that answers traffic. See SERVING.md for the
+//! operations guide: architecture, the degradation ladder, every knob,
+//! and capacity planning off the E25 curve.
+//!
+//! Built on std threads + channels only — no async runtime. The pipeline:
+//!
+//! ```text
+//! frontend ──▶ group-commit batcher ──▶ executor ──▶ shedder
+//! (submit,     (time/size window,       (index       (budget/depth
+//!  bounded      locality reorder)        queries)     verdicts)
+//!  queue)
+//! ```
+//!
+//! Under pressure the service answers
+//! [`Degraded`](topk_core::TopKAnswer::Degraded) instead of queueing:
+//! depth past [`ServeConfig::shed_depth`] coarsens answers to the
+//! [`degraded_k`](ServeConfig::degraded_k) rung, depth at
+//! [`ServeConfig::queue_max`] or an exhausted per-tenant I/O budget sheds
+//! outright, and the queue itself is bounded at the front door.
+//!
+//! # Submit and await
+//!
+//! The open-loop surface: spawn a [`Server`] over a service, submit
+//! requests, and await each [`Ticket`] whenever convenient.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use emsim::{CostModel, EmConfig, FaultPlan};
+//! use serve::{QueryRequest, ServeConfig, Server, TopKService};
+//! use topk_core::toy::{PrefixQuery, ToyElem};
+//! use topk_core::ScanTopK;
+//!
+//! let model = CostModel::with_faults(EmConfig::with_memory(64, 8), FaultPlan::none());
+//! let items: Vec<ToyElem> = (0..256).map(|i| ToyElem { x: i, w: i + 1 }).collect();
+//! let index = ScanTopK::build(&model, items, |q: &PrefixQuery, e: &ToyElem| e.x <= q.x_max);
+//! let service = Arc::new(TopKService::new(index, model, ServeConfig::default()));
+//!
+//! let server = Server::spawn(service);
+//! let ticket = server.handle().submit(QueryRequest {
+//!     tenant: 7,
+//!     query: PrefixQuery { x_max: 100 },
+//!     k: 3,
+//! });
+//! let (reply, _latency) = ticket.wait();
+//! assert!(reply.answer.is_exact());
+//! assert_eq!(reply.answer.items()[0].w, 101); // heaviest element with x ≤ 100
+//!
+//! let report = server.shutdown();
+//! assert_eq!(report.requests, 1);
+//! ```
+//!
+//! # Handling a degraded answer
+//!
+//! Every reply carries the [`Rung`] that produced it, and anything less
+//! than the exact requested top-k is an explicitly-flagged
+//! [`Degraded`](topk_core::TopKAnswer::Degraded) — never a silently
+//! truncated `Exact`.
+//!
+//! ```
+//! use emsim::{CostModel, EmConfig, FaultPlan};
+//! use serve::{QueryRequest, Rung, ServeConfig, TopKService};
+//! use topk_core::toy::{PrefixQuery, ToyElem};
+//! use topk_core::{ScanTopK, TopKAnswer};
+//!
+//! let model = CostModel::with_faults(EmConfig::new(64), FaultPlan::none());
+//! let items: Vec<ToyElem> = (0..64).map(|i| ToyElem { x: i, w: i + 1 }).collect();
+//! let index = ScanTopK::build(&model, items, |q: &PrefixQuery, e: &ToyElem| e.x <= q.x_max);
+//!
+//! // A zero I/O budget sheds every request: the service answers at once
+//! // with an empty `Degraded` instead of queueing work it won't do.
+//! let cfg = ServeConfig::default().with_tenant_budget(0);
+//! let service = TopKService::new(index, model, cfg);
+//! let replies = service.serve_closed(&[QueryRequest {
+//!     tenant: 1,
+//!     query: PrefixQuery { x_max: 10 },
+//!     k: 2,
+//! }]);
+//!
+//! assert_eq!(replies[0].rung, Rung::Shed);
+//! match &replies[0].answer {
+//!     TopKAnswer::Degraded { items, .. } => assert!(items.is_empty()),
+//!     TopKAnswer::Exact(_) => unreachable!("budget 0 can never admit"),
+//! }
+//! assert_eq!(service.report().degraded_fraction(), 1.0);
+//! ```
+
+pub mod config;
+pub mod server;
+pub mod service;
+pub mod shed;
+
+pub use config::ServeConfig;
+pub use server::{Server, ServerHandle, Ticket};
+pub use service::{
+    QueryRequest, Rung, ServeReply, ServeReport, TenantId, TenantStats, TopKService,
+};
+pub use shed::{Shedder, Verdict};

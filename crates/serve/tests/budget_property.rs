@@ -1,0 +1,75 @@
+//! The admission-control property: **no tenant ever exceeds its
+//! configured I/O budget by more than one batch** — in any epoch,
+//! completed or partial, under arbitrary request mixes, batch sizes, and
+//! epoch lengths.
+//!
+//! The bound follows from verdict snapshotting: a tenant is only admitted
+//! while its epoch spend is strictly under budget, and the verdict holds
+//! for every request it has in that one batch, so the worst case lands
+//! the tenant at `budget - 1 + (its I/O in that batch)`.
+
+use emsim::{CostModel, EmConfig, FaultPlan};
+use proptest::prelude::*;
+use serve::{QueryRequest, ServeConfig, TopKService};
+use topk_core::toy::{PrefixQuery, ToyElem};
+use topk_core::ScanTopK;
+
+fn items(n: u64) -> Vec<ToyElem> {
+    (0..n).map(|i| ToyElem { x: i, w: i + 1 }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_tenant_exceeds_budget_by_more_than_one_batch(
+        budget in 0u64..40,
+        batch_max in 1usize..9,
+        epoch_batches in 1u64..5,
+        reqs in prop::collection::vec((0u32..3, 0u64..64, 1u64..8), 1..80),
+    ) {
+        let cfg = ServeConfig::default()
+            .with_batch_max(batch_max)
+            .with_epoch_batches(epoch_batches)
+            .with_tenant_budget(budget)
+            .with_shed_depth(1 << 20)
+            .with_queue_max(1 << 21);
+        // Pool-less meter: every admitted scan charges real, repeatable I/O.
+        let model = CostModel::with_faults(EmConfig::new(8), FaultPlan::none());
+        let index = ScanTopK::build(&model, items(64), |q: &PrefixQuery, e: &ToyElem| {
+            e.x <= q.x_max
+        });
+        let service = TopKService::new(index, model, cfg);
+
+        let requests: Vec<_> = reqs
+            .iter()
+            .map(|&(tenant, x_max, k)| QueryRequest {
+                tenant,
+                query: PrefixQuery { x_max },
+                k: k as usize,
+            })
+            .collect();
+        let replies = service.serve_closed(&requests);
+        prop_assert_eq!(replies.len(), requests.len());
+
+        let report = service.report();
+        for t in &report.tenants {
+            let completed: u64 = t.epochs.iter().sum();
+            prop_assert!(completed <= t.ios);
+            let partial = t.ios - completed;
+            for spend in t.epochs.iter().copied().chain([partial]) {
+                prop_assert!(
+                    spend <= budget.saturating_add(t.max_batch_ios),
+                    "tenant {} epoch spend {} exceeds budget {} + one batch ({})",
+                    t.tenant, spend, budget, t.max_batch_ios
+                );
+            }
+        }
+        // A zero budget means zero metered I/O, full stop.
+        if budget == 0 {
+            for t in &report.tenants {
+                prop_assert_eq!(t.ios, 0);
+            }
+        }
+    }
+}
